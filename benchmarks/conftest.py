@@ -1,0 +1,66 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper via the
+drivers in :mod:`repro.harness.experiments`. A single
+ExperimentContext is shared across the whole session so configurations
+needed by several figures (e.g. the 1/4-data-array runs feed Figs. 10,
+11 and 12) are simulated exactly once.
+
+Environment knobs:
+
+* ``REPRO_SCALE`` — dataset scale (default 1.0; use 0.25 for a quick
+  pass).
+* ``REPRO_SEED`` — data-generation seed (default 7).
+
+Rendered tables are printed (visible with ``-s``) and written under
+``results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Session-wide experiment context over all nine benchmarks."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print and persist a Table (or dict of Tables)."""
+
+    def _emit(tables, prefix):
+        if not isinstance(tables, dict):
+            tables = {"": tables}
+        for key, table in tables.items():
+            name = f"{prefix}_{key}" if key else prefix
+            print()
+            print(table.render())
+            table.save(directory=results_dir, filename=f"{name}.txt")
+            # The paper's figures are bar charts; save that form too.
+            bars_path = os.path.join(results_dir, f"{name}_bars.txt")
+            with open(bars_path, "w") as fh:
+                fh.write(table.render_bars() + "\n")
+
+    return _emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, iterations=1, rounds=1)
+
+    return _run

@@ -1,0 +1,24 @@
+"""Fig. 2 — storage savings vs element-wise similarity threshold T.
+
+Paper: virtually no savings at T = 0% (except blackscholes/swaptions,
+whose parameters repeat exactly); savings grow as T relaxes;
+inversek2j/jmeint stay low because one out-of-threshold element pair
+disqualifies a whole block.
+"""
+
+from repro.harness.experiments import fig02_threshold_similarity
+
+
+def test_fig02_threshold_similarity(once, ctx, emit):
+    table = once(lambda: fig02_threshold_similarity(ctx))
+    emit(table, "fig02")
+    by_name = table.row_map()
+    # Exact redundancy exists in the pricing benchmarks at T=0.
+    assert by_name["blackscholes"][1] > 0.05
+    assert by_name["swaptions"][1] > 0.05
+    # Savings are monotone in T for every workload.
+    for row in table.rows:
+        vals = row[1:]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+    # jmeint finds little element-wise similarity even at T=10%.
+    assert by_name["jmeint"][5] < 0.35

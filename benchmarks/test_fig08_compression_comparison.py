@@ -1,0 +1,33 @@
+"""Fig. 8 — Doppelgänger vs BΔI compression vs exact deduplication.
+
+Paper: 14-bit Doppelgänger saves 37.9% vs 20.9% (BΔI) and 5.3%
+(dedup); BΔI shines on integer data (canneal, jpeg) and struggles with
+floats; dedup only helps where values repeat exactly (blackscholes,
+swaptions); composing Doppelgänger with BΔI adds more (43.9%).
+"""
+
+from repro.harness.experiments import fig08_compression_comparison
+
+
+def test_fig08_compression_comparison(once, ctx, emit):
+    table = once(lambda: fig08_compression_comparison(ctx))
+    emit(table, "fig08")
+    by_name = table.row_map()
+    mean = by_name["mean"]
+    bdi, dedup, dopp, both = mean[1], mean[2], mean[3], mean[4]
+    # Who wins: Doppelgänger beats both lossless baselines on average.
+    assert dopp > bdi
+    assert dopp > dedup
+    # Composition only helps.
+    assert both >= dopp - 1e-9
+    # BdI is effective on the integer benchmarks...
+    assert by_name["canneal"][1] > 0.3
+    assert by_name["jpeg"][1] > 0.2
+    # ...and ineffective on wild floating-point data.
+    assert by_name["jmeint"][1] < 0.1
+    assert by_name["swaptions"][1] < 0.1
+    # Dedup only works where exact redundancy exists.
+    assert by_name["blackscholes"][2] > 0.3
+    assert by_name["swaptions"][2] > 0.3
+    assert by_name["kmeans"][2] < 0.2
+    assert by_name["canneal"][2] < 0.2

@@ -1,0 +1,37 @@
+"""Fig. 11 — LLC dynamic and leakage energy reductions.
+
+Paper headline: with the 1/4 data array, 2.55x dynamic and 1.41x
+leakage energy reductions over the baseline 2 MB LLC; savings grow as
+the data array shrinks; canneal benefits least on the dynamic side
+because its extra misses generate extra cache activity.
+"""
+
+from repro.harness.experiments import fig11_energy_reduction
+
+
+def test_fig11_energy_reduction(once, ctx, emit):
+    tables = once(lambda: fig11_energy_reduction(ctx))
+    emit(tables, "fig11")
+    dyn = tables["dynamic"].row_map()["geomean"]
+    leak = tables["leakage"].row_map()["geomean"]
+
+    # Dynamic energy reduction in the paper's band at 1/4 (2.55x).
+    # The absolute anchor only holds with Table 1's structure sizes:
+    # the fixed 168 pJ map-generation energy does not shrink when
+    # REPRO_SCALE scales the arrays down.
+    if ctx.size_factor >= 1.0:
+        assert 1.8 < dyn[2] < 3.5
+    else:
+        assert dyn[2] > 1.0
+    # Monotone improvement as the array shrinks.
+    assert dyn[1] <= dyn[2] <= dyn[3]
+    assert leak[1] <= leak[2] <= leak[3]
+    # Leakage reduction near the paper's 1.41x at 1/4 (the fixed
+    # periphery offset in the leakage model also assumes full scale).
+    if ctx.size_factor >= 1.0:
+        assert 1.1 < leak[2] < 1.8
+
+    # canneal's dynamic reduction trails the field (extra activity).
+    rows = {row[0]: row for row in tables["dynamic"].rows if row[0] != "geomean"}
+    best = max(row[2] for row in rows.values())
+    assert rows["canneal"][2] < best

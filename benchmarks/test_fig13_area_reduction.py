@@ -1,0 +1,32 @@
+"""Fig. 13 — LLC area reduction for both designs.
+
+Paper: split Doppelgänger reaches 1.36x / 1.55x / 1.70x with 1/2, 1/4
+and 1/8 data arrays; unifying precise and approximate storage
+(uniDoppelgänger) reaches 3.15x at 1/4. Configuration-only: no
+simulation involved.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig13_area_reduction
+
+
+def test_fig13_area_reduction(once, emit):
+    table = once(fig13_area_reduction)
+    emit(table, "fig13")
+    rows = table.rows
+    dopp = [row for row in rows if row[0] == "Doppelganger"]
+    uni = [row for row in rows if row[0] == "uniDoppelganger"]
+
+    # Reductions grow monotonically as the data array shrinks.
+    assert dopp[0][3] < dopp[1][3] < dopp[2][3]
+    assert uni[0][3] < uni[1][3] < uni[2][3]
+
+    # Paper's anchor points, within model tolerance.
+    assert dopp[0][3] == pytest.approx(1.36, rel=0.15)
+    assert dopp[1][3] == pytest.approx(1.55, rel=0.15)
+    assert dopp[2][3] == pytest.approx(1.70, rel=0.15)
+    assert uni[2][3] == pytest.approx(3.15, rel=0.20)
+
+    # The unified design dominates the split design at equal fractions.
+    assert uni[2][3] > dopp[1][3]

@@ -1,0 +1,29 @@
+"""The abstract's headline claims, all in one table.
+
+Paper: 1.55x LLC area, 2.55x dynamic energy and 1.41x leakage energy
+reductions with only a 2.3% runtime increase (14-bit map, 1/4 data
+array).
+"""
+
+import pytest
+
+from repro.harness.experiments import summary_headline
+
+
+def test_headline_claims(once, ctx, emit):
+    table = once(lambda: summary_headline(ctx))
+    emit(table, "headline")
+    rows = {row[0]: row for row in table.rows}
+
+    area = rows["LLC area reduction (x)"]
+    assert area[1] == pytest.approx(area[2], rel=0.15)  # 1.55x
+
+    if ctx.size_factor >= 1.0:  # absolute anchors need Table 1 sizes
+        dyn = rows["LLC dynamic energy reduction (x, geomean)"]
+        assert dyn[1] == pytest.approx(dyn[2], rel=0.35)  # 2.55x
+
+        leak = rows["LLC leakage energy reduction (x, geomean)"]
+        assert leak[1] == pytest.approx(leak[2], rel=0.30)  # 1.41x
+
+    runtime = rows["runtime increase (%, geomean)"]
+    assert runtime[1] < 30.0  # paper: 2.3%; our substrate is harsher

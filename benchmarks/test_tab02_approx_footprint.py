@@ -1,0 +1,23 @@
+"""Table 2 — percentage of LLC blocks that are approximate.
+
+Measured over the baseline 2 MB LLC's resident blocks; the paper's
+hand-annotated percentages range from 1.5% (swaptions) to 99.7%
+(inversek2j).
+"""
+
+from repro.harness.experiments import table2_approx_footprint
+
+
+def test_table2_approx_footprint(once, ctx, emit):
+    table = once(lambda: table2_approx_footprint(ctx))
+    emit(table, "table2")
+    by_name = table.row_map()
+    # The ordering of the extremes must match the paper.
+    assert by_name["inversek2j"][1] > 85
+    assert by_name["jpeg"][1] > 85
+    assert by_name["jmeint"][1] > 80
+    assert by_name["swaptions"][1] < 20
+    assert by_name["fluidanimate"][1] < 20
+    # Every measured footprint lands within 25 points of Table 2.
+    for name, measured, paper in table.rows:
+        assert abs(measured - paper) < 25, f"{name}: {measured} vs {paper}"

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Would YOUR data benefit from a Doppelgänger cache?
+
+The adoption question for this architecture is always the same: does
+the application's data exhibit enough block-level approximate
+similarity, and what map-space size / data-array size should the
+designer pick? This example runs the characterization tool over a
+benchmark and walks through that sizing decision — the same reasoning
+behind the paper's choice of a 14-bit map with a 1/4 data array.
+
+Run:  python examples/characterize_workload.py [workload]
+"""
+
+import sys
+
+from repro.analysis.characterize import characterize_workload
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jpeg"
+    workload = get_workload(name, seed=7, scale=0.5)
+    print(workload.describe())
+
+    ch = characterize_workload(workload, bits_sweep=(8, 10, 12, 13, 14, 16))
+    print()
+    print(ch.to_table().render())
+
+    print("\nper-region value profile:")
+    for profile in ch.regions:
+        print(
+            f"  {profile.name:14} {profile.blocks:6d} blocks | "
+            f"avg {profile.avg_mean:8.2f} ± {profile.avg_std:7.2f} | "
+            f"range {profile.range_mean:8.2f} ± {profile.range_std:7.2f} | "
+            f"avg occupies {100 * profile.avg_concentration:5.1f}% of declared span"
+        )
+
+    print("\nsharing at 14-bit (tag-list length -> map groups):")
+    hist = dict(sorted(ch.sharing_histogram.items()))
+    shown = dict(list(hist.items())[:12])
+    print(f"  {shown}{' ...' if len(hist) > 12 else ''}")
+    print(f"  mean blocks per occupied map: {ch.avg_tags_per_map():.2f}")
+
+    # The sizing decision the designer faces.
+    for entries, label in ((2048, "1/8 data array"), (4096, "1/4 data array"),
+                           (8192, "1/2 data array")):
+        bits = ch.max_bits_for_entries(entries)
+        verdict = f"finest safe map: {bits}-bit" if bits else "does not fit any surveyed M"
+        print(f"  {label} ({entries} entries): {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Design-space exploration: the map-space / data-array trade-off.
+
+Section 5 of the paper treats the map-space size (M) and the
+approximate data-array size as the two design knobs: smaller map
+spaces and smaller arrays save more energy and area but cost output
+error and (slightly) runtime. This example sweeps both knobs on one
+benchmark and prints the trade-off surface, ending with the paper's
+chosen operating point (14-bit, 1/4).
+
+Run:  python examples/design_space_exploration.py [workload]
+"""
+
+import sys
+
+from repro.energy import EnergyModel
+from repro.energy.structures import baseline_llc_structure, doppelganger_structures
+from repro.harness.reporting import Table
+from repro.harness.runner import ExperimentContext, dopp_spec
+
+MAP_BITS = (12, 13, 14)
+FRACTIONS = (0.5, 0.25, 0.125)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
+    ctx = ExperimentContext(seed=7, scale=0.5, workloads=[name])
+    model = EnergyModel()
+    base_area = model.cacti.area_mm2(baseline_llc_structure())
+
+    table = Table(
+        f"Design space for {name}: error / runtime / area vs (M, data array)",
+        ["map bits", "data array", "output error %", "norm. runtime",
+         "dyn. energy x", "area x"],
+        precision=2,
+    )
+    for bits in MAP_BITS:
+        for frac in FRACTIONS:
+            spec = dopp_spec(map_bits=bits, data_fraction=frac)
+            error = 100.0 * ctx.error(name, spec)
+            runtime = ctx.normalized_runtime(name, spec)
+            dyn = ctx.dynamic_energy_reduction(name, spec)
+            area = sum(
+                model.cacti.area_mm2(s)
+                for s in doppelganger_structures(
+                    data_fraction=frac, map_bits=bits
+                ).values()
+            )
+            table.add_row(bits, f"1/{round(1 / frac)}", error, runtime,
+                          dyn, base_area / area)
+    table.add_note("paper's operating point: 14-bit map, 1/4 data array")
+    print(table.render())
+
+    best = dopp_spec(map_bits=14, data_fraction=0.25)
+    print(
+        f"\nchosen point -> error {100 * ctx.error(name, best):.2f}%, "
+        f"runtime {ctx.normalized_runtime(name, best):.3f}x, "
+        f"dynamic energy {ctx.dynamic_energy_reduction(name, best):.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Quickstart: the Doppelgänger cache in five minutes.
+
+Walks the public API end to end:
+
+1. build an annotated workload (the jpeg benchmark),
+2. inspect approximate similarity in its data (the paper's Sec. 2),
+3. run the structural Doppelgänger cache on the workload's memory
+   trace inside the full 4-core hierarchy, against the conventional
+   baseline LLC,
+4. measure application output error with the functional model,
+5. price the hardware with the CACTI-calibrated energy/area model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BlockApproximator, DoppelgangerConfig, MapConfig
+from repro.core.maps import MapGenerator
+from repro.energy import EnergyModel
+from repro.harness.reporting import Table
+from repro.hierarchy import BaselineLLC, SplitDoppelgangerLLC, System
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # ------------------------------------------------------------ 1. workload
+    workload = get_workload("jpeg", seed=7, scale=0.25)
+    print(workload.describe())
+
+    # ------------------------------------------------- 2. approximate similarity
+    # Find two image blocks the hardware would deem doppelgängers:
+    # different addresses, same (average, range) map.
+    image = workload.region_data("image").astype(float)
+    region = workload.region("image")
+    gen = MapGenerator(MapConfig(bits=14), region.vmin, region.vmax, region.dtype)
+    blocks = image.reshape(-1, 64)
+    maps = gen.compute_batch(blocks)
+    seen = {}
+    pair = None
+    for i, m in enumerate(maps):
+        if m in seen:
+            pair = (seen[m], i)
+            break
+        seen[m] = i
+    a, b = pair
+    block_a, block_b = blocks[a], blocks[b]
+    print(f"\nblock {a:5d}: avg={block_a.mean():6.2f} "
+          f"range={block_a.max() - block_a.min():5.1f} map={maps[a]}")
+    print(f"block {b:5d}: avg={block_b.mean():6.2f} "
+          f"range={block_b.max() - block_b.min():5.1f} map={maps[b]}")
+    print("-> equal maps: these blocks would share ONE data-array entry\n")
+
+    # ------------------------------------------------------ 3. cycle simulation
+    trace = workload.build_trace()
+    print(f"trace: {len(trace)} accesses, {trace.footprint_bytes() // 1024} KB footprint")
+
+    baseline = BaselineLLC(regions=trace.regions)
+    base_result = System(baseline).run(trace)
+
+    config = DoppelgangerConfig(data_fraction=0.25, map=MapConfig(14))
+    dopp_llc = SplitDoppelgangerLLC(config, regions=trace.regions)
+    dopp_result = System(dopp_llc).run(trace)
+
+    table = Table("Baseline 2MB LLC vs split Doppelgänger (1MB precise + 256KB data)",
+                  ["metric", "baseline", "doppelganger"])
+    table.add_row("cycles", base_result.cycles, dopp_result.cycles)
+    table.add_row("LLC misses", base_result.llc_misses, dopp_result.llc_misses)
+    table.add_row("off-chip KB", base_result.traffic_bytes // 1024,
+                  dopp_result.traffic_bytes // 1024)
+    table.add_row("tags per shared entry (current)", None,
+                  round(dopp_llc.dopp.current_avg_tags_per_entry(), 2))
+    print()
+    print(table.render())
+
+    # ------------------------------------------------------------- 4. error
+    approximator = BlockApproximator(MapConfig(14), data_entries=config.data_entries)
+    error = workload.evaluate_error(approximator)
+    print(f"\napplication output error: {100 * error:.2f}% "
+          f"(sharing rate {approximator.sharing_rate():.2f})")
+
+    # ------------------------------------------------------------ 5. energy
+    model = EnergyModel()
+    base_energy = model.dynamic_energy(baseline, cycles=base_result.cycles)
+    dopp_energy = model.dynamic_energy(dopp_llc, cycles=dopp_result.cycles)
+    print(f"\nLLC area:           {base_energy.area_mm2:.2f} mm2 -> "
+          f"{dopp_energy.area_mm2:.2f} mm2 "
+          f"({base_energy.area_mm2 / dopp_energy.area_mm2:.2f}x reduction)")
+    print(f"LLC dynamic energy: {base_energy.dynamic_pj / 1e6:.2f} uJ -> "
+          f"{dopp_energy.dynamic_pj / 1e6:.2f} uJ "
+          f"({base_energy.dynamic_pj / dopp_energy.dynamic_pj:.2f}x reduction)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Reproduction of *Doppelgänger: A Cache for Approximate Computing*.
+
+San Miguel, Albericio, Moshovos, Enright Jerger — MICRO-48, 2015.
+
+The package is organized as a set of substrates (a generic set-associative
+cache simulator, a coherent multi-level hierarchy, a CACTI-like energy/area
+model, trace infrastructure and nine annotated workloads) plus the paper's
+contribution (the Doppelgänger and uniDoppelgänger caches) and an
+experiment harness that regenerates every table and figure of the paper's
+evaluation section.
+
+Quick start::
+
+    from repro.core import DoppelgangerCache, DoppelgangerConfig
+    from repro.workloads import get_workload
+
+    workload = get_workload("jpeg", seed=7)
+    cache = DoppelgangerCache(DoppelgangerConfig())
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable tour.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

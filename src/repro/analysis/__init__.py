@@ -1,0 +1,34 @@
+"""Offline similarity and storage-savings analyses.
+
+* :mod:`repro.analysis.similarity` — the Sec. 2 characterization:
+  element-wise threshold similarity between cache blocks (Fig. 2).
+* :mod:`repro.analysis.storage` — map-based storage savings (Fig. 7)
+  and the comparison against BΔI / exact deduplication (Fig. 8),
+  computed over LLC-resident block snapshots.
+"""
+
+from repro.analysis.similarity import (
+    blocks_similar,
+    greedy_similarity_clusters,
+    threshold_storage_savings,
+)
+from repro.analysis.storage import (
+    LLCSnapshot,
+    bdi_savings,
+    dedup_savings,
+    doppelganger_savings,
+    doppelganger_bdi_savings,
+    snapshot_from_workload,
+)
+
+__all__ = [
+    "LLCSnapshot",
+    "bdi_savings",
+    "blocks_similar",
+    "dedup_savings",
+    "doppelganger_bdi_savings",
+    "doppelganger_savings",
+    "greedy_similarity_clusters",
+    "snapshot_from_workload",
+    "threshold_storage_savings",
+]

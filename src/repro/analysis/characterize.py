@@ -1,0 +1,159 @@
+"""Per-workload value characterization (the Sec. 2 methodology, deeper).
+
+The paper's first contribution is a characterization of approximate
+similarity in LLC-resident data. This module generalizes that study
+into a reusable tool: given any workload (or raw block population), it
+reports
+
+* block-statistic distributions — where the averages and ranges live
+  inside the declared value interval, and how concentrated they are;
+* the *unique-map curve*: distinct map values (and hence required data
+  entries) as a function of the map-space size M, the quantity that
+  determines whether a given data array can hold a workload;
+* the sharing histogram at a chosen M (how many blocks pile onto each
+  map — the tag-list length distribution the hardware would see);
+* recommended minimum map bits to keep a target data-array occupancy.
+
+Used by ``examples/characterize_workload.py`` and the test suite; handy
+when annotating *new* applications for a Doppelgänger-style cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.storage import LLCSnapshot, snapshot_from_workload
+from repro.core.maps import MapConfig, MapGenerator
+from repro.harness.reporting import Table
+
+
+@dataclass
+class RegionProfile:
+    """Value statistics of one region's block population."""
+
+    name: str
+    blocks: int
+    avg_mean: float
+    avg_std: float
+    range_mean: float
+    range_std: float
+    declared_span: float
+
+    @property
+    def avg_concentration(self) -> float:
+        """Fraction of the declared span the averages occupy (±2σ)."""
+        if self.declared_span <= 0:
+            return 0.0
+        return min(4.0 * self.avg_std / self.declared_span, 1.0)
+
+
+@dataclass
+class Characterization:
+    """Full similarity characterization of a workload."""
+
+    workload: str
+    regions: List[RegionProfile] = field(default_factory=list)
+    #: map bits -> (unique maps, total blocks)
+    unique_curve: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: tag-list length -> number of map groups of that size (at base M)
+    sharing_histogram: Dict[int, int] = field(default_factory=dict)
+    base_bits: int = 14
+
+    def savings_at(self, bits: int) -> float:
+        """Storage savings at a map-space size."""
+        unique, total = self.unique_curve[bits]
+        return 1.0 - unique / total if total else 0.0
+
+    def max_bits_for_entries(self, data_entries: int) -> Optional[int]:
+        """Largest surveyed M whose unique-map count fits the array.
+
+        Larger map spaces produce more unique maps (finer bins, lower
+        error); the designer wants the finest map space the data array
+        can still hold. Returns None when even the smallest surveyed M
+        overflows ``data_entries``.
+        """
+        best = None
+        for bits in sorted(self.unique_curve):
+            unique, _ = self.unique_curve[bits]
+            if unique <= data_entries:
+                best = bits
+        return best
+
+    def avg_tags_per_map(self) -> float:
+        """Mean blocks per occupied map at the base M."""
+        groups = sum(self.sharing_histogram.values())
+        blocks = sum(k * v for k, v in self.sharing_histogram.items())
+        return blocks / groups if groups else 0.0
+
+    def to_table(self) -> Table:
+        """Render the characterization as a report table."""
+        table = Table(
+            f"Characterization: {self.workload}",
+            ["map bits", "unique maps", "blocks", "storage savings"],
+        )
+        for bits in sorted(self.unique_curve):
+            unique, total = self.unique_curve[bits]
+            table.add_row(bits, unique, total, self.savings_at(bits))
+        table.add_note(
+            f"avg tags per occupied map at {self.base_bits}-bit: "
+            f"{self.avg_tags_per_map():.2f}"
+        )
+        return table
+
+
+def characterize_snapshot(
+    snapshot: LLCSnapshot,
+    workload_name: str = "snapshot",
+    bits_sweep: Sequence[int] = (8, 10, 12, 13, 14, 16),
+    base_bits: int = 14,
+) -> Characterization:
+    """Characterize a block population across map-space sizes."""
+    result = Characterization(workload=workload_name, base_bits=base_bits)
+
+    for region, blocks in snapshot.groups():
+        avgs = blocks.mean(axis=1)
+        ranges = blocks.max(axis=1) - blocks.min(axis=1)
+        result.regions.append(
+            RegionProfile(
+                name=region.name,
+                blocks=len(blocks),
+                avg_mean=float(avgs.mean()),
+                avg_std=float(avgs.std()),
+                range_mean=float(ranges.mean()),
+                range_std=float(ranges.std()),
+                declared_span=region.vmax - region.vmin,
+            )
+        )
+
+    for bits in bits_sweep:
+        unique = 0
+        total = 0
+        for region, blocks in snapshot.groups():
+            gen = MapGenerator(MapConfig(bits), region.vmin, region.vmax, region.dtype)
+            maps = gen.compute_batch(blocks)
+            unique += len(np.unique(maps))
+            total += len(blocks)
+        result.unique_curve[bits] = (unique, total)
+
+    histogram: Dict[int, int] = {}
+    for region, blocks in snapshot.groups():
+        gen = MapGenerator(
+            MapConfig(base_bits), region.vmin, region.vmax, region.dtype
+        )
+        maps = gen.compute_batch(blocks)
+        _, counts = np.unique(maps, return_counts=True)
+        for count in counts:
+            histogram[int(count)] = histogram.get(int(count), 0) + 1
+    result.sharing_histogram = histogram
+    return result
+
+
+def characterize_workload(
+    workload, bits_sweep: Sequence[int] = (8, 10, 12, 13, 14, 16)
+) -> Characterization:
+    """Characterize a workload's approximate data footprint."""
+    snapshot = snapshot_from_workload(workload)
+    return characterize_snapshot(snapshot, workload.name, bits_sweep)

@@ -1,0 +1,197 @@
+"""Replacement policies for set-associative structures.
+
+The paper uses LRU in every array (Sec. 3.5) but explicitly calls the
+study of specialized replacement a future-work item, so the substrate
+ships several policies; the ablation bench
+``benchmarks/test_ablation_replacement.py`` exercises them.
+
+A policy instance manages a single cache *set* of ``ways`` ways. The
+cache tells the policy when a way is touched, filled or invalidated, and
+asks it for a victim way when the set is full.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class ReplacementPolicy:
+    """Interface for per-set replacement bookkeeping.
+
+    Ways are identified by their index in ``range(ways)``. The owning
+    cache guarantees that :meth:`victim` is only called when no invalid
+    way exists (callers prefer invalid ways as fill targets).
+    """
+
+    name = "base"
+
+    def __init__(self, ways: int):
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        self.ways = ways
+
+    def on_access(self, way: int) -> None:
+        """A hit touched ``way``."""
+        raise NotImplementedError
+
+    def on_fill(self, way: int) -> None:
+        """A new block was installed in ``way``."""
+        raise NotImplementedError
+
+    def on_invalidate(self, way: int) -> None:
+        """``way`` was invalidated and is now free."""
+
+    def victim(self) -> int:
+        """Pick the way to evict from a full set."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used order, the paper's policy for all arrays."""
+
+    name = "lru"
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        # Most-recent at the end. Starts in way order so that victims of a
+        # never-touched set are deterministic.
+        self._order = list(range(ways))
+
+    def on_access(self, way: int) -> None:
+        self._order.remove(way)
+        self._order.append(way)
+
+    def on_fill(self, way: int) -> None:
+        self.on_access(way)
+
+    def victim(self) -> int:
+        return self._order[0]
+
+    def recency_order(self) -> list:
+        """Ways ordered least- to most-recently used (for tests)."""
+        return list(self._order)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: eviction order follows fill order."""
+
+    name = "fifo"
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        self._queue = list(range(ways))
+
+    def on_access(self, way: int) -> None:
+        # FIFO ignores hits.
+        pass
+
+    def on_fill(self, way: int) -> None:
+        if way in self._queue:
+            self._queue.remove(way)
+        self._queue.append(way)
+
+    def victim(self) -> int:
+        return self._queue[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim selection (seeded for reproducibility)."""
+
+    name = "random"
+
+    def __init__(self, ways: int, seed: int = 0):
+        super().__init__(ways)
+        self._rng = random.Random(seed)
+
+    def on_access(self, way: int) -> None:
+        pass
+
+    def on_fill(self, way: int) -> None:
+        pass
+
+    def victim(self) -> int:
+        return self._rng.randrange(self.ways)
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU.
+
+    Classic binary-tree PLRU: each internal node holds one bit pointing
+    toward the pseudo-least-recently-used half. Requires a power-of-two
+    way count; for other counts callers should use :class:`LRUPolicy`.
+    """
+
+    name = "plru"
+
+    def __init__(self, ways: int):
+        super().__init__(ways)
+        if ways & (ways - 1):
+            raise ValueError(f"PLRU requires power-of-two ways, got {ways}")
+        self._bits = [0] * max(ways - 1, 1)
+
+    def _touch(self, way: int) -> None:
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # point away: right half is colder
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # point away: left half is colder
+                node = 2 * node + 2
+                lo = mid
+        del node
+
+    def on_access(self, way: int) -> None:
+        self._touch(way)
+
+    def on_fill(self, way: int) -> None:
+        self._touch(way)
+
+    def victim(self) -> int:
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node]:  # cold half is the right one
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        return lo
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+    "plru": PLRUPolicy,
+}
+
+
+def make_policy(name: str, ways: int, seed: Optional[int] = None) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name.
+
+    Args:
+        name: one of ``lru``, ``fifo``, ``random``, ``plru``.
+        ways: set associativity.
+        seed: RNG seed, honoured by the random policy only.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None
+    if cls is RandomPolicy:
+        return cls(ways, seed=0 if seed is None else seed)
+    return cls(ways)
+
+
+def policy_names() -> list:
+    """All registered policy names, sorted."""
+    return sorted(_POLICIES)

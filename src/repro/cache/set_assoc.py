@@ -1,0 +1,278 @@
+"""Conventional set-associative cache model.
+
+This is the workhorse structure of the reproduction: it models the
+private L1/L2 caches, the baseline 2 MB LLC and the precise half of the
+split Doppelgänger LLC. It is a *functional + event* model: it tracks
+resident blocks, replacement state and statistics, and reports evictions
+and writebacks to the caller; timing and energy are accounted separately
+from the recorded events.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.cache.block import BlockState, CacheBlock
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.stats import CacheStats
+
+
+class AccessResult(NamedTuple):
+    """Outcome of a cache access.
+
+    Attributes:
+        hit: whether the address was resident.
+        block: the resident block after the access completes.
+        evicted_addr: block address of the victim, if a fill evicted one.
+        evicted_block: the victim block itself (carries dirty/state).
+        writeback: whether the victim required a writeback.
+    """
+
+    hit: bool
+    block: CacheBlock
+    evicted_addr: Optional[int] = None
+    evicted_block: Optional[CacheBlock] = None
+    writeback: bool = False
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class SetAssociativeCache:
+    """A set-associative, write-back, write-allocate cache.
+
+    Args:
+        size_bytes: total data capacity.
+        ways: associativity.
+        block_size: line size in bytes (64 in the paper's system).
+        policy: replacement policy name (``lru`` by default, as the paper).
+        name: label used in reports.
+        level: informational level tag (e.g. ``"L1"``), used by reports.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        ways: int,
+        block_size: int = 64,
+        policy: str = "lru",
+        name: str = "cache",
+        level: str = "",
+        policy_seed: Optional[int] = None,
+    ):
+        if size_bytes <= 0 or size_bytes % (ways * block_size):
+            raise ValueError(
+                f"size {size_bytes} not divisible into {ways}-way sets of "
+                f"{block_size}B blocks"
+            )
+        if not _is_pow2(block_size):
+            raise ValueError(f"block_size must be a power of two, got {block_size}")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.block_size = block_size
+        self.num_sets = size_bytes // (ways * block_size)
+        if not _is_pow2(self.num_sets):
+            raise ValueError(
+                f"derived set count {self.num_sets} is not a power of two"
+            )
+        self.name = name
+        self.level = level
+        self.policy_name = policy
+        self._policy_seed = policy_seed
+        self.stats = CacheStats()
+        # Per set: way -> CacheBlock, plus a tag -> way map for O(1) probes.
+        self._ways: List[Dict[int, CacheBlock]] = [dict() for _ in range(self.num_sets)]
+        self._tag_to_way: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._policies: List[ReplacementPolicy] = [
+            make_policy(policy, ways, seed=policy_seed) for _ in range(self.num_sets)
+        ]
+
+    # ---------------------------------------------------------------- addressing
+
+    def block_addr(self, addr: int) -> int:
+        """Strip the offset bits from a byte address."""
+        return addr // self.block_size
+
+    def set_index(self, addr: int) -> int:
+        """Set index for a byte address."""
+        return self.block_addr(addr) % self.num_sets
+
+    def addr_tag(self, addr: int) -> int:
+        """Address tag for a byte address."""
+        return self.block_addr(addr) // self.num_sets
+
+    def _compose_addr(self, set_idx: int, tag: int) -> int:
+        """Reconstruct a byte (block-aligned) address from set and tag."""
+        return (tag * self.num_sets + set_idx) * self.block_size
+
+    # ---------------------------------------------------------------- queries
+
+    def probe(self, addr: int) -> Optional[CacheBlock]:
+        """Look up ``addr`` without touching replacement state or stats."""
+        set_idx = self.set_index(addr)
+        way = self._tag_to_way[set_idx].get(self.addr_tag(addr))
+        if way is None:
+            return None
+        return self._ways[set_idx][way]
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` is resident (any valid state)."""
+        return self.probe(addr) is not None
+
+    def resident_addrs(self) -> Iterator[int]:
+        """Iterate over the byte addresses of every resident block."""
+        for set_idx, tag_map in enumerate(self._tag_to_way):
+            for tag in tag_map:
+                yield self._compose_addr(set_idx, tag)
+
+    def occupancy(self) -> int:
+        """Number of resident blocks."""
+        return sum(len(m) for m in self._tag_to_way)
+
+    # ---------------------------------------------------------------- access
+
+    def access(
+        self,
+        addr: int,
+        is_write: bool = False,
+        value_id: int = -1,
+        fill_on_miss: bool = True,
+    ) -> AccessResult:
+        """Perform a read or write access.
+
+        On a miss with ``fill_on_miss`` the block is installed
+        (write-allocate), evicting the replacement victim if the set is
+        full. The evicted block and whether it needs a writeback are
+        reported in the result; the caller (hierarchy) is responsible for
+        actually propagating the writeback.
+
+        Args:
+            addr: byte address.
+            is_write: store (sets the dirty bit) vs load.
+            value_id: optional value-table index carried by functional
+                simulations; ``-1`` leaves the resident value unchanged
+                on reads and updates it on writes only when ``>= 0``.
+            fill_on_miss: install the block on a miss.
+        """
+        self.stats.accesses += 1
+        self.stats.tag_lookups += 1
+        if is_write:
+            self.stats.write_accesses += 1
+        else:
+            self.stats.read_accesses += 1
+
+        set_idx = self.set_index(addr)
+        tag = self.addr_tag(addr)
+        way = self._tag_to_way[set_idx].get(tag)
+        if way is not None:
+            block = self._ways[set_idx][way]
+            self.stats.hits += 1
+            if is_write:
+                block.dirty = True
+                block.state = BlockState.MODIFIED
+                self.stats.data_writes += 1
+                if value_id >= 0:
+                    block.value_id = value_id
+            else:
+                self.stats.data_reads += 1
+            self._policies[set_idx].on_access(way)
+            return AccessResult(hit=True, block=block)
+
+        self.stats.misses += 1
+        if not fill_on_miss:
+            return AccessResult(hit=False, block=CacheBlock(tag, BlockState.INVALID))
+        return self._fill(addr, is_write, value_id)
+
+    def _fill(self, addr: int, is_write: bool, value_id: int) -> AccessResult:
+        """Install ``addr``, evicting a victim when the set is full."""
+        set_idx = self.set_index(addr)
+        tag = self.addr_tag(addr)
+        evicted_addr = None
+        evicted_block = None
+        writeback = False
+
+        ways_map = self._ways[set_idx]
+        if len(ways_map) < self.ways:
+            way = next(w for w in range(self.ways) if w not in ways_map)
+        else:
+            way = self._policies[set_idx].victim()
+            evicted_block = ways_map[way]
+            evicted_addr = self._compose_addr(set_idx, evicted_block.tag)
+            writeback = evicted_block.dirty
+            self.stats.evictions += 1
+            if writeback:
+                self.stats.writebacks += 1
+            del self._tag_to_way[set_idx][evicted_block.tag]
+
+        block = CacheBlock(
+            tag,
+            state=BlockState.MODIFIED if is_write else BlockState.SHARED,
+            dirty=is_write,
+            value_id=value_id,
+        )
+        ways_map[way] = block
+        self._tag_to_way[set_idx][tag] = way
+        self._policies[set_idx].on_fill(way)
+        self.stats.fills += 1
+        if is_write:
+            self.stats.data_writes += 1
+        else:
+            self.stats.data_reads += 1
+        return AccessResult(
+            hit=False,
+            block=block,
+            evicted_addr=evicted_addr,
+            evicted_block=evicted_block,
+            writeback=writeback,
+        )
+
+    def install(self, addr: int, dirty: bool = False, value_id: int = -1) -> AccessResult:
+        """Install a block without counting a demand access.
+
+        Used by LLC adapters for the fill that follows a (separately
+        counted) demand miss; fills/evictions/writebacks are still
+        recorded. Raises if the address is already resident.
+        """
+        if self.probe(addr) is not None:
+            raise ValueError(f"install of resident address {addr:#x}")
+        return self._fill(addr, dirty, value_id)
+
+    # ---------------------------------------------------------------- maintenance
+
+    def invalidate(self, addr: int) -> Optional[CacheBlock]:
+        """Remove ``addr`` if resident; return the removed block.
+
+        The caller decides what to do with a dirty victim (the private
+        caches write it back toward the LLC; the LLC writes to memory).
+        """
+        set_idx = self.set_index(addr)
+        tag = self.addr_tag(addr)
+        way = self._tag_to_way[set_idx].pop(tag, None)
+        if way is None:
+            return None
+        block = self._ways[set_idx].pop(way)
+        self._policies[set_idx].on_invalidate(way)
+        self.stats.invalidations += 1
+        return block
+
+    def flush(self) -> List[Tuple[int, CacheBlock]]:
+        """Invalidate everything; return ``(addr, block)`` for dirty blocks."""
+        dirty = []
+        for addr in list(self.resident_addrs()):
+            block = self.invalidate(addr)
+            if block is not None and block.dirty:
+                dirty.append((addr, block))
+        return dirty
+
+    def for_each_block(self, fn: Callable[[int, CacheBlock], None]) -> None:
+        """Apply ``fn(addr, block)`` to every resident block."""
+        for set_idx, ways_map in enumerate(self._ways):
+            for block in ways_map.values():
+                fn(self._compose_addr(set_idx, block.tag), block)
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache(name={self.name!r}, size={self.size_bytes}, "
+            f"ways={self.ways}, sets={self.num_sets}, policy={self.policy_name!r})"
+        )

@@ -1,0 +1,105 @@
+"""Command-line interface for the experiment harness.
+
+Regenerate any table or figure of the paper from the shell::
+
+    python -m repro.cli list
+    python -m repro.cli fig07
+    python -m repro.cli fig10 --scale 0.25 --workloads canneal jpeg
+    python -m repro.cli all --out results/
+
+Experiment names follow the paper: ``fig02``, ``table2``, ``fig07``,
+``fig08``, ``fig09``, ``fig10``, ``fig11``, ``fig12``, ``fig13``,
+``fig14``, ``table3``, ``headline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.harness import experiments as E
+from repro.harness.runner import ExperimentContext
+
+#: name -> (driver, needs_context)
+_EXPERIMENTS = {
+    "fig02": (E.fig02_threshold_similarity, True),
+    "table2": (E.table2_approx_footprint, True),
+    "fig07": (E.fig07_map_space_savings, True),
+    "fig08": (E.fig08_compression_comparison, True),
+    "fig09": (E.fig09_map_space, True),
+    "fig10": (E.fig10_data_array, True),
+    "fig11": (E.fig11_energy_reduction, True),
+    "fig12": (E.fig12_offchip_traffic, True),
+    "fig13": (E.fig13_area_reduction, False),
+    "fig14": (E.fig14_unidoppelganger, True),
+    "table3": (E.table3_hardware_cost, False),
+    "headline": (E.summary_headline, True),
+}
+
+
+def experiment_names() -> list:
+    """All experiment names, in paper order."""
+    return list(_EXPERIMENTS)
+
+
+def run_experiment(name: str, ctx: Optional[ExperimentContext], out: Optional[str]) -> None:
+    """Run one experiment; print (and optionally save) its tables."""
+    driver, needs_ctx = _EXPERIMENTS[name]
+    start = time.time()
+    result = driver(ctx) if needs_ctx else driver()
+    tables: Dict[str, object] = result if isinstance(result, dict) else {"": result}
+    for key, table in tables.items():
+        print()
+        print(table.render())
+        if out:
+            filename = f"{name}_{key}.txt" if key else f"{name}.txt"
+            table.save(directory=out, filename=filename)
+    print(f"\n[{name} done in {time.time() - start:.1f}s]")
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'all', or 'list'",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
+    parser.add_argument(
+        "--scale", type=float, default=None, help="dataset scale (default 1.0)"
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, help="benchmark subset"
+    )
+    parser.add_argument("--out", default=None, help="directory to save tables")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        names = experiment_names()
+    elif args.experiment in _EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {experiment_names()} or 'all'"
+        )
+
+    ctx = None
+    if any(_EXPERIMENTS[n][1] for n in names):
+        ctx = ExperimentContext(seed=args.seed, scale=args.scale, workloads=args.workloads)
+    for name in names:
+        run_experiment(name, ctx, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""Value-based cache optimization baselines (Sec. 5.1, Fig. 8).
+
+The paper compares Doppelgänger's storage savings against two prior
+techniques, both implemented here from their original papers:
+
+* :mod:`repro.compression.bdi` — Base-Delta-Immediate compression
+  (Pekhimenko et al., PACT 2012): lossless intra-block compression
+  exploiting the low dynamic range of values within a block.
+* :mod:`repro.compression.dedup` — exact deduplication (Tian et al.,
+  ICS 2014): inter-block elimination of byte-identical blocks via
+  content hashing.
+"""
+
+from repro.compression.bdi import BDICompressor, BDIEncoding, bdi_compressed_size
+from repro.compression.dedup import DedupCache, DedupStats
+
+__all__ = [
+    "BDICompressor",
+    "BDIEncoding",
+    "DedupCache",
+    "DedupStats",
+    "bdi_compressed_size",
+]

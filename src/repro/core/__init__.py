@@ -1,0 +1,43 @@
+"""The paper's contribution: the Doppelgänger cache.
+
+Modules:
+
+* :mod:`repro.core.maps` — approximate-similarity map generation
+  (Sec. 3.7): average+range hashes, linear binning into an M-bit map
+  space, clamping to the declared value range.
+* :mod:`repro.core.tag_array` — decoupled, address-indexed tag array
+  whose entries carry prev/next tag pointers and a map value.
+* :mod:`repro.core.data_array` — map-indexed MTag + data array whose
+  entries point at the head of the tag linked list sharing them.
+* :mod:`repro.core.doppelganger` — the split-LLC Doppelgänger cache
+  (Secs. 3.1-3.6): lookups, insertions, writes, replacements,
+  per-tag coherence bookkeeping.
+* :mod:`repro.core.unidoppelganger` — the unified design (Sec. 3.8)
+  holding precise and approximate blocks in one array pair.
+* :mod:`repro.core.functional` — fast functional model used for
+  application output-error evaluation (the paper's Pin methodology).
+* :mod:`repro.core.config` — configuration dataclasses mirroring
+  Table 1.
+"""
+
+from repro.core.config import DoppelgangerConfig, UniDoppelgangerConfig
+from repro.core.maps import MapConfig, MapGenerator, MapRegistry
+from repro.core.doppelganger import DoppelgangerCache
+from repro.core.unidoppelganger import UniDoppelgangerCache
+from repro.core.functional import BlockApproximator, FunctionalDoppelganger, IdentityApproximator
+from repro.core.replacement_ext import TagCountAwarePolicy, make_sharing_aware
+
+__all__ = [
+    "BlockApproximator",
+    "DoppelgangerCache",
+    "DoppelgangerConfig",
+    "FunctionalDoppelganger",
+    "IdentityApproximator",
+    "MapConfig",
+    "MapGenerator",
+    "MapRegistry",
+    "TagCountAwarePolicy",
+    "UniDoppelgangerCache",
+    "UniDoppelgangerConfig",
+    "make_sharing_aware",
+]

@@ -1,0 +1,201 @@
+"""Approximate-similarity map generation (Sec. 3.7 of the paper).
+
+A *map* identifies approximately similar blocks: blocks with equal maps
+share one data-array entry. Map generation is a two-step process:
+
+1. **Hash.** Two hash functions aggregate the block's element values:
+   the *average* and the *range* (max minus min). Values are clamped to
+   the programmer-declared ``[vmin, vmax]`` before hashing, as the paper
+   specifies for out-of-range runtime values.
+2. **Mapping.** Each hash is linearly binned into an ``M``-bit integer:
+   ``vmin`` maps to 0, ``vmax`` to ``2**M - 1``, dividing the hash space
+   into ``2**M`` equally spaced bins. If ``M`` exceeds the element
+   type's bit width (e.g. 8-bit pixels with M = 14) the mapping step is
+   omitted and the hash itself is used, avoiding always-zero low bits
+   and the resulting data-array set conflicts.
+
+The final map concatenates the average map (low bits) with the top
+``ceil(M/2)`` bits of the range map (footnote 4), giving 21 bits for the
+base ``M = 14`` — exactly the per-tag "Map" field width in Table 3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.trace.record import DTYPE_INFO, DType
+
+
+@dataclass(frozen=True)
+class MapConfig:
+    """Map-space design knobs.
+
+    Attributes:
+        bits: the M parameter — size of the map space per hash.
+            The paper evaluates 12, 13 and 14 (base design: 14).
+        use_average: include the average hash (ablation knob).
+        use_range: include the range hash (ablation knob).
+    """
+
+    bits: int = 14
+    use_average: bool = True
+    use_range: bool = True
+
+    def __post_init__(self):
+        if self.bits < 0:
+            raise ValueError(f"map bits must be non-negative, got {self.bits}")
+        if not (self.use_average or self.use_range):
+            raise ValueError("at least one hash function must be enabled")
+
+    @property
+    def range_keep_bits(self) -> int:
+        """High-order bits of the range map kept in the final map."""
+        return math.ceil(self.bits / 2)
+
+
+class MapGenerator:
+    """Computes map values for blocks of a single annotated data type.
+
+    One generator exists per (data type, declared range) registration —
+    the paper's model of min/max values sent to the LLC and buffered
+    there at program start.
+
+    Args:
+        config: map-space configuration.
+        vmin: declared minimum element value.
+        vmax: declared maximum element value.
+        dtype: element data type (integer types may trigger the
+            omit-mapping rule).
+    """
+
+    def __init__(self, config: MapConfig, vmin: float, vmax: float, dtype: DType = DType.F32):
+        if not vmax > vmin:
+            raise ValueError(f"need vmax > vmin, got [{vmin}, {vmax}]")
+        self.config = config
+        self.vmin = float(vmin)
+        self.vmax = float(vmax)
+        self.dtype = dtype
+        info = DTYPE_INFO[dtype]
+        # Omit-mapping rule: never use more map bits than the data type
+        # has; otherwise the low bits of the map would always be zero.
+        if info.is_integer:
+            self.avg_bits = min(config.bits, info.bits)
+            self.range_bits = min(config.bits, info.bits)
+        else:
+            self.avg_bits = config.bits
+            self.range_bits = config.bits
+        self.range_keep = min(config.range_keep_bits, self.range_bits)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def total_bits(self) -> int:
+        """Width of the final map value."""
+        bits = 0
+        if self.config.use_average:
+            bits += self.avg_bits
+        if self.config.use_range:
+            bits += self.range_keep
+        return bits
+
+    @property
+    def map_space_size(self) -> int:
+        """Number of distinct map values."""
+        return 1 << self.total_bits
+
+    # -------------------------------------------------------------- hashing
+
+    def _bin(self, hashes: np.ndarray, lo: float, hi: float, bits: int) -> np.ndarray:
+        """Linearly bin hash values in [lo, hi] into ``2**bits`` bins."""
+        if bits == 0:
+            return np.zeros_like(hashes, dtype=np.int64)
+        span = hi - lo
+        norm = (np.asarray(hashes, dtype=np.float64) - lo) / span
+        bins = np.floor(norm * (1 << bits)).astype(np.int64)
+        return np.clip(bins, 0, (1 << bits) - 1)
+
+    def compute_batch(self, blocks: np.ndarray) -> np.ndarray:
+        """Map values for a batch of blocks.
+
+        Args:
+            blocks: array of shape ``(n_blocks, elements_per_block)``.
+
+        Returns:
+            int64 array of ``n_blocks`` map values.
+        """
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.ndim == 1:
+            blocks = blocks[np.newaxis, :]
+        clamped = np.clip(np.nan_to_num(blocks, nan=self.vmin), self.vmin, self.vmax)
+
+        maps = np.zeros(len(clamped), dtype=np.int64)
+        shift = 0
+        if self.config.use_average:
+            avg = clamped.mean(axis=1)
+            maps |= self._bin(avg, self.vmin, self.vmax, self.avg_bits)
+            shift = self.avg_bits
+        if self.config.use_range:
+            rng = clamped.max(axis=1) - clamped.min(axis=1)
+            range_map = self._bin(rng, 0.0, self.vmax - self.vmin, self.range_bits)
+            kept = range_map >> (self.range_bits - self.range_keep)
+            maps |= kept << shift
+        return maps
+
+    def compute(self, values: np.ndarray) -> int:
+        """Map value for a single block."""
+        return int(self.compute_batch(np.asarray(values)[np.newaxis, :])[0])
+
+    def flop_count(self, elements: int = 16) -> int:
+        """FP multiply-add operations per map generation.
+
+        Sec. 5.6's conservative accounting: computing the average, the
+        range and the mapping steps for a 64-byte block of at most 16
+        floating-point elements takes 21 multiply-add operations (a
+        fused unit covers an add and a scale per op). Scales linearly
+        for other element counts.
+        """
+        return max(1, round(21 * elements / 16))
+
+
+class MapRegistry:
+    """Per-data-type map generators registered at the LLC.
+
+    Sec. 4.1: the application sends, once at startup, the expected value
+    range for each approximate data type; the LLC buffers them in a
+    small register set. Trace regions carry a region id; the registry
+    resolves a region to its generator.
+    """
+
+    def __init__(self, config: MapConfig):
+        self.config = config
+        self._by_region: Dict[int, MapGenerator] = {}
+
+    def register(self, region_id: int, vmin: float, vmax: float, dtype: DType) -> MapGenerator:
+        """Register the declared range for one annotated region."""
+        gen = MapGenerator(self.config, vmin, vmax, dtype)
+        self._by_region[region_id] = gen
+        return gen
+
+    def register_regions(self, regions) -> None:
+        """Register every approximate region of a RegionMap."""
+        for region_id, region in enumerate(regions):
+            if region.approx:
+                self.register(region_id, region.vmin, region.vmax, region.dtype)
+
+    def generator(self, region_id: int) -> Optional[MapGenerator]:
+        """Generator for ``region_id``, or None if not approximate."""
+        return self._by_region.get(region_id)
+
+    def compute(self, region_id: int, values: np.ndarray) -> int:
+        """Map value for a block belonging to ``region_id``."""
+        gen = self._by_region.get(region_id)
+        if gen is None:
+            raise KeyError(f"region {region_id} has no registered map generator")
+        return gen.compute(values)
+
+    def __len__(self) -> int:
+        return len(self._by_region)

@@ -1,0 +1,42 @@
+"""Area, latency and energy modelling (the CACTI substitute).
+
+The paper uses CACTI 5.1 at 32 nm for all area/latency/energy numbers
+and publishes its outputs for six structures in Table 3. We reproduce
+that table exactly where the bit-level accounting is deterministic
+(entry widths, total sizes) and provide an analytical model —
+calibrated against the published CACTI outputs — for the quantities
+CACTI computes (area, access latency, access energy, leakage) at
+configurations the paper does not publish (e.g. the 1/2 and 1/8 data
+arrays of the sweeps).
+
+Map generation energy follows Sec. 5.6: 21 floating-point multiply-add
+operations at 8 pJ each = 168 pJ per map.
+"""
+
+from repro.energy.cacti import CactiModel
+from repro.energy.structures import (
+    BASELINE_LLC,
+    CacheStructure,
+    TABLE3_PUBLISHED,
+    baseline_llc_structure,
+    doppelganger_structures,
+    l1_structure,
+    l2_structure,
+    unidoppelganger_structures,
+)
+from repro.energy.accounting import EnergyModel, EnergyReport, MAP_GENERATION_PJ
+
+__all__ = [
+    "BASELINE_LLC",
+    "CacheStructure",
+    "CactiModel",
+    "EnergyModel",
+    "EnergyReport",
+    "MAP_GENERATION_PJ",
+    "TABLE3_PUBLISHED",
+    "baseline_llc_structure",
+    "doppelganger_structures",
+    "l1_structure",
+    "l2_structure",
+    "unidoppelganger_structures",
+]

@@ -1,0 +1,143 @@
+"""Analytical CACTI-like model calibrated against Table 3.
+
+CACTI 5.1 itself is a large C++ tool; the paper publishes its outputs
+for the six structures of interest (Table 3), which we use as
+calibration points. The model fits log-log power laws:
+
+* data access energy / latency vs. data capacity (the published points
+  are within a few percent of a clean power law);
+* tag access energy / latency vs. total tag-array bits (width × ways ×
+  sets) — the Doppelgänger tag array is small but *wide* (77-bit
+  entries, 16 ways read in parallel), which is why its access energy
+  exceeds the baseline's, and the total-bits predictor captures that;
+* area vs. total storage bits;
+* leakage power vs. area, with a fixed periphery offset chosen to
+  bracket the paper's leakage-reduction results.
+
+Fits happen once at import time from ``TABLE3_PUBLISHED``; tests
+validate every published point against the model within tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.energy.structures import (
+    CacheStructure,
+    TABLE3_PUBLISHED,
+    baseline_llc_structure,
+    doppelganger_structures,
+    unidoppelganger_structures,
+)
+
+
+def _power_fit(xs, ys) -> Tuple[float, float]:
+    """Least-squares fit of ``y = a * x**b`` in log space."""
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    b, log_a = np.polyfit(lx, ly, 1)
+    return float(np.exp(log_a)), float(b)
+
+
+def _calibration_structures() -> dict:
+    structs = {"baseline_llc": baseline_llc_structure()}
+    structs.update(doppelganger_structures())
+    structs.update(unidoppelganger_structures())
+    return structs
+
+
+class CactiModel:
+    """Power-law area/latency/energy model at the paper's 32 nm node.
+
+    All public methods take a :class:`CacheStructure`. Quantities:
+
+    * :meth:`area_mm2` — silicon area.
+    * :meth:`tag_energy_pj` / :meth:`tag_latency_ns` — one tag-array
+      access (all ways in parallel).
+    * :meth:`data_energy_pj` / :meth:`data_latency_ns` — one data-array
+      access (one block read/write); None-equivalent 0.0 for tag-only
+      structures.
+    * :meth:`leakage_mw` — static power, linear in area plus a fixed
+      periphery term.
+    """
+
+    #: Periphery offset (mm^2-equivalent) for the leakage model. Chosen
+    #: between the two constraints the paper's results imply (see
+    #: DESIGN.md): the split design's 1.41x and the unified design's
+    #: 2.60x leakage reductions bracket offsets of ~1.2 and ~0.45.
+    LEAKAGE_AREA_OFFSET_MM2 = 0.8
+    #: Leakage power per mm^2 at 32 nm (typical SRAM figure ~50-100
+    #: mW/mm^2; the constant cancels in every reduction ratio).
+    LEAKAGE_MW_PER_MM2 = 60.0
+
+    def __init__(self):
+        structs = _calibration_structures()
+        tag_bits, tag_pj, tag_ns = [], [], []
+        data_kb, data_pj, data_ns = [], [], []
+        total_kb, area = [], []
+        for name, (kb, mm2, t_ns, d_ns, t_pj, d_pj) in TABLE3_PUBLISHED.items():
+            s = structs[name]
+            total_kb.append(s.total_kb)
+            area.append(mm2)
+            tag_bits.append(s.tag_bits_total)
+            tag_pj.append(t_pj)
+            tag_ns.append(t_ns)
+            if d_pj is not None:
+                data_kb.append(s.data_kb)
+                data_pj.append(d_pj)
+                data_ns.append(d_ns)
+        self._area_fit = _power_fit(total_kb, area)
+        self._tag_e_fit = _power_fit(tag_bits, tag_pj)
+        self._tag_l_fit = _power_fit(tag_bits, tag_ns)
+        self._data_e_fit = _power_fit(data_kb, data_pj)
+        self._data_l_fit = _power_fit(data_kb, data_ns)
+
+    @staticmethod
+    def _eval(fit: Tuple[float, float], x: float) -> float:
+        a, b = fit
+        return a * x**b
+
+    # -------------------------------------------------------------- queries
+
+    def area_mm2(self, structure: CacheStructure) -> float:
+        """Silicon area of the structure."""
+        return self._eval(self._area_fit, structure.total_kb)
+
+    def tag_energy_pj(self, structure: CacheStructure) -> float:
+        """Energy of one tag-array access."""
+        return self._eval(self._tag_e_fit, structure.tag_bits_total)
+
+    def tag_latency_ns(self, structure: CacheStructure) -> float:
+        """Latency of one tag-array access."""
+        return self._eval(self._tag_l_fit, structure.tag_bits_total)
+
+    def data_energy_pj(self, structure: CacheStructure) -> float:
+        """Energy of one data-array access (0 for tag-only arrays)."""
+        if not structure.has_data:
+            return 0.0
+        return self._eval(self._data_e_fit, structure.data_kb)
+
+    def data_latency_ns(self, structure: CacheStructure) -> float:
+        """Latency of one data-array access (0 for tag-only arrays)."""
+        if not structure.has_data:
+            return 0.0
+        return self._eval(self._data_l_fit, structure.data_kb)
+
+    def leakage_mw(self, structure: CacheStructure) -> float:
+        """Static leakage power of the structure."""
+        return self.LEAKAGE_MW_PER_MM2 * (
+            self.area_mm2(structure) + self.LEAKAGE_AREA_OFFSET_MM2
+        )
+
+    def leakage_mw_total(self, structures) -> float:
+        """Leakage of a set of structures sharing one periphery."""
+        area = sum(self.area_mm2(s) for s in structures)
+        return self.LEAKAGE_MW_PER_MM2 * (area + self.LEAKAGE_AREA_OFFSET_MM2)
+
+    # ----------------------------------------------------------- validation
+
+    def published(self, name: str) -> Optional[tuple]:
+        """Published Table 3 row for a structure name, if any."""
+        return TABLE3_PUBLISHED.get(name)

@@ -1,0 +1,33 @@
+"""Experiment harness: one driver per table/figure of the paper.
+
+* :mod:`repro.harness.reporting` — plain-text table rendering shared
+  by every experiment and the benchmark suite.
+* :mod:`repro.harness.runner` — configuration specs, the simulation
+  pipeline (trace → hierarchy → energy), and a cache so sweeps that
+  share configurations (Figs. 9-12) simulate each one once.
+* :mod:`repro.harness.experiments` — ``fig02`` ... ``fig14``,
+  ``table2``, ``table3`` drivers returning
+  :class:`~repro.harness.reporting.Table` objects.
+"""
+
+from repro.harness.reporting import Table
+from repro.harness.runner import (
+    ConfigSpec,
+    ExperimentContext,
+    RunRecord,
+    baseline_spec,
+    dopp_spec,
+    uni_spec,
+)
+from repro.harness import experiments
+
+__all__ = [
+    "ConfigSpec",
+    "ExperimentContext",
+    "RunRecord",
+    "Table",
+    "baseline_spec",
+    "dopp_spec",
+    "experiments",
+    "uni_spec",
+]

@@ -1,0 +1,270 @@
+"""Simulation pipeline and result cache for the experiment drivers.
+
+A :class:`ConfigSpec` names one LLC organization of the paper's sweeps
+(baseline / split Doppelgänger / uniDoppelgänger with given map bits
+and data-array fraction). :class:`ExperimentContext` owns the
+workloads (instantiated once), their traces (generated once), and a
+memoized ``run()`` so experiments that share configurations — e.g.
+Fig. 10's runtime and Fig. 11's energy both need the 1/4-data-array
+runs — simulate each (workload, config) pair exactly once.
+
+Dataset scale and seed honour the ``REPRO_SCALE`` / ``REPRO_SEED``
+environment variables so the benchmark suite can be sped up without
+touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import DoppelgangerConfig, UniDoppelgangerConfig
+from repro.core.functional import BlockApproximator
+from repro.core.maps import MapConfig
+from repro.energy.accounting import EnergyModel, EnergyReport
+from repro.hierarchy.llc import BaselineLLC, SplitDoppelgangerLLC, UnifiedDoppelgangerLLC
+from repro.hierarchy.system import System, SystemConfig, SystemResult
+from repro.workloads.registry import get_workload, workload_names
+
+
+def _scaled_bytes(base: int, factor) -> int:
+    """Scale a capacity, keeping at least 64 KB and power-of-two-ness."""
+    return max(int(base * factor), 64 * 1024)
+
+
+def _scaled_entries(base: int, factor) -> int:
+    """Scale an entry count, keeping at least 1 K entries."""
+    return max(int(base * factor), 1024)
+
+
+def snap_pow2(scale: float) -> float:
+    """Nearest power-of-two factor for a dataset scale (min 1/16)."""
+    import math
+
+    if scale >= 1.0:
+        return 1.0
+    return 2.0 ** max(round(math.log2(scale)), -4)
+
+
+@dataclass(frozen=True)
+class ConfigSpec:
+    """One LLC organization in the design space.
+
+    Attributes:
+        kind: ``baseline``, ``dopp`` (split) or ``uni``.
+        map_bits: map-space size M (ignored by the baseline).
+        data_fraction: Doppelgänger data-array fraction — of the tag
+            count for the split design, of the baseline block count for
+            the unified design.
+    """
+
+    kind: str = "baseline"
+    map_bits: int = 14
+    data_fraction: float = 0.25
+
+    def label(self) -> str:
+        """Human-readable config name."""
+        if self.kind == "baseline":
+            return "baseline-2MB"
+        frac = f"1/{round(1 / self.data_fraction)}" if self.data_fraction <= 0.5 else "3/4"
+        return f"{self.kind}-{self.map_bits}bit-{frac}"
+
+    def build_llc(self, regions, size_factor: int = 1):
+        """Instantiate the LLC adapter for this spec.
+
+        ``size_factor`` scales every structure (a power-of-two
+        fraction/multiple of Table 1's sizes) so that reduced-scale
+        datasets exercise the same capacity regimes.
+        """
+        if self.kind == "baseline":
+            return BaselineLLC(
+                size_bytes=_scaled_bytes(2 * 1024 * 1024, size_factor), regions=regions
+            )
+        if self.kind == "dopp":
+            cfg = DoppelgangerConfig(
+                tag_entries=_scaled_entries(16 * 1024, size_factor),
+                data_fraction=self.data_fraction,
+                map=MapConfig(self.map_bits),
+            )
+            return SplitDoppelgangerLLC(
+                cfg,
+                precise_bytes=_scaled_bytes(1024 * 1024, size_factor),
+                regions=regions,
+            )
+        if self.kind == "uni":
+            cfg = UniDoppelgangerConfig(
+                tag_entries=_scaled_entries(32 * 1024, size_factor),
+                data_fraction=self.data_fraction,
+                map=MapConfig(self.map_bits),
+            )
+            return UnifiedDoppelgangerLLC(cfg, regions=regions)
+        raise ValueError(f"unknown config kind {self.kind!r}")
+
+    def approximator(self, size_factor: int = 1) -> Optional[BlockApproximator]:
+        """Functional approximator matching this spec (None = precise)."""
+        if self.kind == "baseline":
+            return None
+        if self.kind == "dopp":
+            entries = int(_scaled_entries(16 * 1024, size_factor) * self.data_fraction)
+        else:
+            entries = int(_scaled_entries(32 * 1024, size_factor) * self.data_fraction)
+        entries = max(entries, 256)
+        return BlockApproximator(MapConfig(self.map_bits), data_entries=entries)
+
+
+def baseline_spec() -> ConfigSpec:
+    """The conventional 2 MB LLC."""
+    return ConfigSpec("baseline")
+
+
+def dopp_spec(map_bits: int = 14, data_fraction: float = 0.25) -> ConfigSpec:
+    """A split Doppelgänger configuration."""
+    return ConfigSpec("dopp", map_bits, data_fraction)
+
+
+def uni_spec(map_bits: int = 14, data_fraction: float = 0.5) -> ConfigSpec:
+    """A unified Doppelgänger configuration."""
+    return ConfigSpec("uni", map_bits, data_fraction)
+
+
+@dataclass
+class RunRecord:
+    """One simulated (workload, config) result."""
+
+    spec: ConfigSpec
+    system: SystemResult
+    energy: EnergyReport
+    llc: object
+
+    @property
+    def cycles(self) -> int:
+        """Runtime in cycles."""
+        return self.system.cycles
+
+
+def env_scale(default: float = 1.0) -> float:
+    """Dataset scale from ``REPRO_SCALE`` (default 1.0)."""
+    return float(os.environ.get("REPRO_SCALE", default))
+
+
+def env_seed(default: int = 7) -> int:
+    """Seed from ``REPRO_SEED``."""
+    return int(os.environ.get("REPRO_SEED", default))
+
+
+class ExperimentContext:
+    """Shared state for a suite of experiments.
+
+    Args:
+        seed: data-generation seed.
+        scale: dataset scale (``REPRO_SCALE`` overrides the default).
+        workloads: benchmark subset (all nine by default).
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        scale: Optional[float] = None,
+        workloads=None,
+    ):
+        self.seed = env_seed() if seed is None else seed
+        self.scale = env_scale() if scale is None else scale
+        #: Structure sizes scale with the dataset (power-of-two snap)
+        #: so reduced-scale runs exercise the same capacity regimes.
+        self.size_factor = snap_pow2(self.scale)
+        self.names = list(workloads) if workloads else workload_names()
+        self._workloads: Dict[str, object] = {}
+        self._traces: Dict[str, object] = {}
+        self._runs: Dict[Tuple[str, ConfigSpec], RunRecord] = {}
+        self._errors: Dict[Tuple[str, ConfigSpec], float] = {}
+        self._precise_outputs: Dict[str, object] = {}
+        self.energy_model = EnergyModel()
+
+    # -------------------------------------------------------------- builders
+
+    def workload(self, name: str):
+        """Workload instance (built once)."""
+        if name not in self._workloads:
+            self._workloads[name] = get_workload(name, seed=self.seed, scale=self.scale)
+        return self._workloads[name]
+
+    def trace(self, name: str):
+        """Workload trace (generated once)."""
+        if name not in self._traces:
+            self._traces[name] = self.workload(name).build_trace()
+        return self._traces[name]
+
+    def _system_config(self) -> SystemConfig:
+        """Table 1 system with L2 capacity scaled alongside the LLC."""
+        from repro.hierarchy.system import KB
+
+        if self.size_factor >= 1.0:
+            return SystemConfig()
+        return SystemConfig(
+            l2_bytes=max(int(128 * KB * self.size_factor), 32 * KB)
+        )
+
+    # ------------------------------------------------------------------ runs
+
+    def run(self, name: str, spec: ConfigSpec) -> RunRecord:
+        """Simulate one (workload, config); memoized."""
+        key = (name, spec)
+        if key not in self._runs:
+            trace = self.trace(name)
+            llc = spec.build_llc(trace.regions, self.size_factor)
+            system = System(llc, config=self._system_config())
+            result = system.run(trace)
+            energy = self.energy_model.dynamic_energy(llc, cycles=result.cycles)
+            self._runs[key] = RunRecord(spec=spec, system=result, energy=energy, llc=llc)
+        return self._runs[key]
+
+    def error(self, name: str, spec: ConfigSpec) -> float:
+        """Application output error under a config; memoized.
+
+        Uses the functional Pin-style methodology: the full application
+        runs with its approximate arrays routed through the functional
+        Doppelgänger of the spec. The baseline error is 0 by
+        definition.
+        """
+        if spec.kind == "baseline":
+            return 0.0
+        key = (name, spec)
+        if key not in self._errors:
+            workload = self.workload(name)
+            if name not in self._precise_outputs:
+                self._precise_outputs[name] = workload.run(None)
+            approximator = spec.approximator(self.size_factor)
+            approx_out = workload.run(approximator)
+            self._errors[key] = workload.error(self._precise_outputs[name], approx_out)
+        return self._errors[key]
+
+    def normalized_runtime(self, name: str, spec: ConfigSpec) -> float:
+        """Runtime relative to the baseline LLC (Figs. 9b, 10b, 14b)."""
+        base = self.run(name, baseline_spec()).cycles
+        this = self.run(name, spec).cycles
+        return this / base if base else 0.0
+
+    def normalized_traffic(self, name: str, spec: ConfigSpec) -> float:
+        """Off-chip traffic relative to the baseline LLC (Fig. 12)."""
+        base = self.run(name, baseline_spec()).system.traffic_bytes
+        this = self.run(name, spec).system.traffic_bytes
+        return this / base if base else 0.0
+
+    def dynamic_energy_reduction(self, name: str, spec: ConfigSpec) -> float:
+        """Baseline LLC dynamic energy over this config's (Figs. 11a, 14c)."""
+        base = self.run(name, baseline_spec()).energy.dynamic_pj
+        this = self.run(name, spec).energy.dynamic_pj
+        return base / this if this else 0.0
+
+    def leakage_energy_reduction(self, name: str, spec: ConfigSpec) -> float:
+        """Baseline LLC leakage energy over this config's (Fig. 11b).
+
+        Leakage energy = leakage power x runtime, so the ratio folds in
+        both area and the (small) runtime change.
+        """
+        base_rec = self.run(name, baseline_spec())
+        this_rec = self.run(name, spec)
+        base = base_rec.energy.leakage_mw * base_rec.cycles
+        this = this_rec.energy.leakage_mw * this_rec.cycles
+        return base / this if this else 0.0

@@ -1,0 +1,121 @@
+"""Multi-seed sweeps and table aggregation.
+
+Single-seed results carry synthetic-data noise; this module reruns any
+experiment driver across seeds and aggregates the tables
+(mean ± standard deviation per numeric cell), giving the harness a
+statistical-robustness mode::
+
+    from repro.harness.sweeps import seed_sweep
+    mean, std = seed_sweep(experiments.fig07_map_space_savings,
+                           seeds=(1, 2, 3), scale=0.25)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.reporting import Table
+from repro.harness.runner import ExperimentContext
+
+TableOrDict = Union[Table, Dict[str, Table]]
+
+
+def aggregate_tables(tables: Sequence[Table]) -> Tuple[Table, Table]:
+    """Aggregate same-shape tables into (mean, std) tables.
+
+    Non-numeric cells (row labels, None) are taken from the first
+    table; every table must have identical headers and row labels.
+    """
+    if not tables:
+        raise ValueError("need at least one table")
+    first = tables[0]
+    for other in tables[1:]:
+        if other.headers != first.headers:
+            raise ValueError("tables have different headers")
+        if len(other.rows) != len(first.rows):
+            raise ValueError("tables have different row counts")
+        labels = [row[0] for row in other.rows]
+        if labels != [row[0] for row in first.rows]:
+            raise ValueError("tables have different row labels")
+
+    mean = Table(first.title + " (mean)", first.headers, first.precision)
+    std = Table(first.title + " (std)", first.headers, max(first.precision, 3))
+    for r in range(len(first.rows)):
+        mean_row: List = [first.rows[r][0]]
+        std_row: List = [first.rows[r][0]]
+        for c in range(1, len(first.headers)):
+            cells = [t.rows[r][c] for t in tables]
+            numeric = [v for v in cells if isinstance(v, (int, float))]
+            if len(numeric) == len(cells) and numeric:
+                mu = sum(numeric) / len(numeric)
+                var = sum((v - mu) ** 2 for v in numeric) / len(numeric)
+                mean_row.append(mu)
+                std_row.append(math.sqrt(var))
+            else:
+                mean_row.append(first.rows[r][c])
+                std_row.append(None)
+        mean.add_row(*mean_row)
+        std.add_row(*std_row)
+    mean.notes = list(first.notes)
+    mean.add_note(f"mean of {len(tables)} seeds")
+    return mean, std
+
+
+def seed_sweep(
+    driver: Callable[[ExperimentContext], TableOrDict],
+    seeds: Sequence[int] = (3, 7, 11),
+    scale: Optional[float] = None,
+    workloads=None,
+) -> Union[Tuple[Table, Table], Dict[str, Tuple[Table, Table]]]:
+    """Run an experiment driver once per seed and aggregate.
+
+    Each seed gets a fresh :class:`ExperimentContext` (fresh data and
+    simulations). Returns ``(mean, std)`` — or a dict of those when the
+    driver returns a dict of tables.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_seed: List[TableOrDict] = []
+    for seed in seeds:
+        ctx = ExperimentContext(seed=seed, scale=scale, workloads=workloads)
+        per_seed.append(driver(ctx))
+
+    if isinstance(per_seed[0], dict):
+        out: Dict[str, Tuple[Table, Table]] = {}
+        for key in per_seed[0]:
+            out[key] = aggregate_tables([result[key] for result in per_seed])
+        return out
+    return aggregate_tables(per_seed)
+
+
+def stability_report(
+    driver: Callable[[ExperimentContext], Table],
+    seeds: Sequence[int] = (3, 7, 11),
+    scale: Optional[float] = None,
+    workloads=None,
+    tolerance: float = 0.15,
+) -> Table:
+    """Flag cells whose cross-seed spread exceeds ``tolerance``.
+
+    Spread is the coefficient of variation (std/|mean|) per numeric
+    cell; the report lists unstable cells so benches and EXPERIMENTS.md
+    claims can be sanity-checked against data-generation noise.
+    """
+    mean, std = seed_sweep(driver, seeds, scale, workloads)
+    report = Table(
+        f"Stability: {mean.title}", ["row", "column", "mean", "std", "cv"],
+    )
+    for r, row in enumerate(mean.rows):
+        for c in range(1, len(mean.headers)):
+            mu = row[c]
+            sigma = std.rows[r][c]
+            if not isinstance(mu, (int, float)) or sigma is None:
+                continue
+            cv = sigma / abs(mu) if abs(mu) > 1e-12 else 0.0
+            if cv > tolerance:
+                report.add_row(row[0], mean.headers[c], mu, sigma, cv)
+    report.add_note(
+        f"cells with cross-seed coefficient of variation > {tolerance}"
+    )
+    return report

@@ -1,0 +1,278 @@
+"""Shared-LLC adapters.
+
+Three interchangeable LLC organizations, all speaking the same
+three-call protocol the :class:`~repro.hierarchy.system.System` uses:
+
+* ``read(addr, core, approx, region_id)`` — a demand access from an L2
+  miss; never fills (the system fetches from memory first).
+* ``fill(addr, ...)`` — install a block that arrived from memory.
+* ``handle_writeback(addr, ...)`` — an L2 evicted a dirty block.
+
+Each reply reports memory writebacks and (for the inclusive LLC)
+back-invalidations the system must apply to the private caches.
+
+Organizations:
+
+* :class:`BaselineLLC` — the conventional 2 MB, 16-way LLC.
+* :class:`SplitDoppelgangerLLC` — 1 MB precise cache + 1 MB
+  tag-equivalent Doppelgänger cache (the paper's base design).
+* :class:`UnifiedDoppelgangerLLC` — the uniDoppelgänger variant.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.core.config import DoppelgangerConfig, UniDoppelgangerConfig
+from repro.core.doppelganger import DoppelgangerCache
+from repro.core.unidoppelganger import UniDoppelgangerCache
+
+MB = 1024 * 1024
+
+
+class LLCReply(NamedTuple):
+    """Outcome of an LLC operation, as seen by the system."""
+
+    hit: bool
+    writebacks: tuple = ()
+    back_invalidations: tuple = ()
+
+
+class BaselineLLC:
+    """Conventional shared LLC (2 MB, 16-way, LRU, inclusive)."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        size_bytes: int = 2 * MB,
+        ways: int = 16,
+        block_size: int = 64,
+        policy: str = "lru",
+        regions=None,
+    ):
+        self.cache = SetAssociativeCache(
+            size_bytes, ways, block_size, policy, name="LLC", level="LLC"
+        )
+        self.block_size = block_size
+
+    def read(self, addr: int, core: int, approx: bool, region_id: int) -> LLCReply:
+        """Demand lookup; misses do not fill."""
+        result = self.cache.access(addr, is_write=False, fill_on_miss=False)
+        return LLCReply(hit=result.hit)
+
+    def fill(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+        dirty: bool = False,
+    ) -> LLCReply:
+        """Install a block fetched from memory."""
+        result = self.cache.install(addr, dirty=dirty, value_id=value_id)
+        writebacks = (result.evicted_addr,) if result.writeback else ()
+        back_invals = (result.evicted_addr,) if result.evicted_addr is not None else ()
+        self.cache.stats.back_invalidations += len(back_invals)
+        return LLCReply(hit=False, writebacks=writebacks, back_invalidations=back_invals)
+
+    def handle_writeback(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+    ) -> LLCReply:
+        """Absorb a dirty L2 eviction; forward to memory if not resident."""
+        block = self.cache.probe(addr)
+        if block is None:
+            # Raced with an LLC eviction: the writeback goes to memory.
+            return LLCReply(hit=False, writebacks=(addr,))
+        block.dirty = True
+        if value_id >= 0:
+            block.value_id = value_id
+        self.cache.stats.write_accesses += 1
+        self.cache.stats.tag_lookups += 1
+        self.cache.stats.data_writes += 1
+        return LLCReply(hit=True)
+
+    def energy_events(self) -> dict:
+        """Access counts per physical structure, for the energy model."""
+        s = self.cache.stats
+        return {
+            ("baseline_llc", "tag"): s.tag_lookups,
+            ("baseline_llc", "data"): s.data_reads + s.data_writes,
+        }
+
+    def miss_count(self) -> int:
+        """Demand misses at the LLC."""
+        return self.cache.stats.misses
+
+
+class SplitDoppelgangerLLC:
+    """1 MB precise conventional cache + Doppelgänger cache (Table 1)."""
+
+    name = "doppelganger"
+
+    def __init__(
+        self,
+        config: Optional[DoppelgangerConfig] = None,
+        precise_bytes: int = 1 * MB,
+        precise_ways: int = 16,
+        policy: str = "lru",
+        regions=None,
+    ):
+        self.config = config or DoppelgangerConfig()
+        self.block_size = self.config.block_size
+        self.precise = SetAssociativeCache(
+            precise_bytes, precise_ways, self.block_size, policy, name="precise", level="LLC"
+        )
+        self.dopp = DoppelgangerCache(self.config, regions=regions)
+
+    def read(self, addr: int, core: int, approx: bool, region_id: int) -> LLCReply:
+        """Route by the access's approximate bit (ISA support, Sec. 4.1)."""
+        if approx:
+            outcome = self.dopp.lookup(addr, is_write=False, core=core)
+            return LLCReply(hit=outcome.hit)
+        result = self.precise.access(addr, is_write=False, fill_on_miss=False)
+        return LLCReply(hit=result.hit)
+
+    def fill(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+        dirty: bool = False,
+    ) -> LLCReply:
+        """Install a fetched block in the appropriate half."""
+        if approx:
+            if values is None:
+                raise ValueError(
+                    f"approximate fill of {addr:#x} (region {region_id}) needs block values"
+                )
+            outcome = self.dopp.insert(
+                addr, region_id, values, value_id=value_id, dirty=dirty, core=core
+            )
+            return LLCReply(False, outcome.writebacks, outcome.back_invalidations)
+        result = self.precise.install(addr, dirty=dirty, value_id=value_id)
+        writebacks = (result.evicted_addr,) if result.writeback else ()
+        back_invals = (result.evicted_addr,) if result.evicted_addr is not None else ()
+        self.precise.stats.back_invalidations += len(back_invals)
+        return LLCReply(False, writebacks, back_invals)
+
+    def handle_writeback(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+    ) -> LLCReply:
+        """Dirty L2 eviction: Sec. 3.4 path for approximate blocks."""
+        if approx:
+            if values is None:
+                raise ValueError(
+                    f"approximate writeback of {addr:#x} (region {region_id}) needs values"
+                )
+            outcome = self.dopp.writeback(addr, region_id, values, value_id=value_id, core=core)
+            return LLCReply(outcome.hit, outcome.writebacks, outcome.back_invalidations)
+        block = self.precise.probe(addr)
+        if block is None:
+            return LLCReply(hit=False, writebacks=(addr,))
+        block.dirty = True
+        if value_id >= 0:
+            block.value_id = value_id
+        self.precise.stats.write_accesses += 1
+        self.precise.stats.tag_lookups += 1
+        self.precise.stats.data_writes += 1
+        return LLCReply(hit=True)
+
+    def energy_events(self) -> dict:
+        """Access counts per physical structure, for the energy model."""
+        p = self.precise.stats
+        d = self.dopp.stats
+        return {
+            ("precise_1mb", "tag"): p.tag_lookups,
+            ("precise_1mb", "data"): p.data_reads + p.data_writes,
+            ("dopp_tag", "tag"): d.tag_lookups,
+            ("dopp_data", "tag"): d.mtag_lookups,
+            ("dopp_data", "data"): d.data_reads + d.data_writes,
+            ("map_generation", "op"): d.map_generations,
+        }
+
+    def miss_count(self) -> int:
+        """Demand misses across both halves."""
+        return self.precise.stats.misses + self.dopp.stats.misses
+
+
+class UnifiedDoppelgangerLLC:
+    """uniDoppelgänger LLC (Sec. 3.8): one array pair for everything."""
+
+    name = "unidoppelganger"
+
+    def __init__(self, config: Optional[UniDoppelgangerConfig] = None, regions=None):
+        self.config = config or UniDoppelgangerConfig()
+        self.block_size = self.config.block_size
+        self.uni = UniDoppelgangerCache(self.config, regions=regions)
+
+    def read(self, addr: int, core: int, approx: bool, region_id: int) -> LLCReply:
+        """Tag probe handles both kinds uniformly."""
+        outcome = self.uni.lookup(addr, is_write=False, core=core)
+        return LLCReply(hit=outcome.hit)
+
+    def fill(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+        dirty: bool = False,
+    ) -> LLCReply:
+        """Install a fetched block, precise or approximate."""
+        outcome = self.uni.insert_block(
+            addr, approx, region_id=region_id, values=values, value_id=value_id,
+            dirty=dirty, core=core,
+        )
+        return LLCReply(False, outcome.writebacks, outcome.back_invalidations)
+
+    def handle_writeback(
+        self,
+        addr: int,
+        core: int,
+        approx: bool,
+        region_id: int,
+        value_id: int = -1,
+        values: Optional[np.ndarray] = None,
+    ) -> LLCReply:
+        """Dirty L2 eviction of either kind."""
+        outcome = self.uni.writeback_block(
+            addr, approx, region_id=region_id, values=values, value_id=value_id, core=core
+        )
+        return LLCReply(outcome.hit, outcome.writebacks, outcome.back_invalidations)
+
+    def energy_events(self) -> dict:
+        """Access counts per physical structure, for the energy model."""
+        d = self.uni.stats
+        return {
+            ("uni_tag", "tag"): d.tag_lookups,
+            ("uni_data", "tag"): d.mtag_lookups,
+            ("uni_data", "data"): d.data_reads + d.data_writes,
+            ("map_generation", "op"): d.map_generations,
+        }
+
+    def miss_count(self) -> int:
+        """Demand misses at the unified LLC."""
+        return self.uni.stats.misses

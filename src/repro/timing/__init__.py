@@ -1,0 +1,15 @@
+"""Analytical timing: first-order performance models.
+
+The cycle-accounting simulation in :mod:`repro.hierarchy.system` is the
+source of truth for runtimes; this package provides the closed-form
+first-order model architects use for sanity checks —
+``CPI = CPI_core + miss-flow x effective penalties`` — and a
+cross-validation helper that compares the two. When the analytical
+estimate and the simulator diverge wildly, something structural is off
+(a thrashing array, a pathological trace); the test suite uses it as a
+tripwire.
+"""
+
+from repro.timing.model import AnalyticalModel, CycleEstimate, validate_against_simulation
+
+__all__ = ["AnalyticalModel", "CycleEstimate", "validate_against_simulation"]

@@ -1,0 +1,133 @@
+"""First-order analytical performance model.
+
+The standard back-of-envelope decomposition::
+
+    cycles =  instructions / issue_width          (compute)
+            + L1 misses  x L2 latency             (read flow only)
+            + L2 misses  x LLC latency
+            + LLC misses x effective DRAM penalty
+
+The effective DRAM penalty interpolates between the full latency
+(isolated misses) and the bandwidth interval (bursts), using the same
+MLP parameters as the simulator. The model consumes a finished
+:class:`~repro.hierarchy.system.SystemResult` (it needs the miss flow),
+so it is a *decomposition check*, not a predictor — its job is to
+confirm the simulator's cycle count is explained by the events it
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hierarchy.system import SystemConfig, SystemResult
+
+
+@dataclass
+class CycleEstimate:
+    """Analytical cycle decomposition."""
+
+    compute: float
+    l2_flow: float
+    llc_flow: float
+    memory_flow: float
+
+    @property
+    def total(self) -> float:
+        """Estimated total cycles (single-stream)."""
+        return self.compute + self.l2_flow + self.llc_flow + self.memory_flow
+
+    def breakdown(self) -> dict:
+        """Components as a dict."""
+        return {
+            "compute": self.compute,
+            "l2_flow": self.l2_flow,
+            "llc_flow": self.llc_flow,
+            "memory_flow": self.memory_flow,
+        }
+
+
+class AnalyticalModel:
+    """First-order CPI model over a finished simulation's event counts.
+
+    Args:
+        config: the system parameters the simulation used.
+        burst_fraction: fraction of LLC misses assumed to overlap in
+            bursts (pay the bandwidth interval instead of full
+            latency). The simulator measures this dynamically; 0.7 is a
+            reasonable default for streaming-heavy workloads.
+        mem_latency: DRAM latency in cycles.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        burst_fraction: float = 0.7,
+        mem_latency: int = 160,
+    ):
+        if not 0.0 <= burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be in [0, 1]")
+        self.config = config or SystemConfig()
+        self.burst_fraction = burst_fraction
+        self.mem_latency = mem_latency
+
+    def effective_miss_penalty(self) -> float:
+        """Expected cycles per LLC read miss under the MLP assumption."""
+        cfg = self.config
+        return (
+            self.burst_fraction * cfg.mem_overlap_interval
+            + (1.0 - self.burst_fraction) * self.mem_latency
+        )
+
+    def estimate(self, result: SystemResult, num_cores: int = 4) -> CycleEstimate:
+        """Decompose a simulation result into first-order components.
+
+        Produces a per-core estimate assuming perfectly balanced cores
+        (divide aggregate flows by the core count).
+        """
+        cfg = self.config
+        l1 = result.l1_stats
+        l2 = result.l2_stats
+        # Only loads stall the core in the simulator's model.
+        read_frac_l1 = l1.read_accesses / l1.accesses if l1.accesses else 1.0
+        read_frac_l2 = l2.read_accesses / l2.accesses if l2.accesses else 1.0
+        l1_read_misses = l1.misses * read_frac_l1
+        l2_read_misses = l2.misses * read_frac_l2
+        llc_read_misses = result.llc_misses * read_frac_l2
+
+        compute = result.instructions / cfg.issue_width
+        l2_flow = l1_read_misses * cfg.l2_latency
+        llc_flow = l2_read_misses * cfg.llc_latency
+        memory_flow = llc_read_misses * self.effective_miss_penalty()
+        return CycleEstimate(
+            compute=compute / num_cores,
+            l2_flow=l2_flow / num_cores,
+            llc_flow=llc_flow / num_cores,
+            memory_flow=memory_flow / num_cores,
+        )
+
+
+def validate_against_simulation(
+    result: SystemResult,
+    config: Optional[SystemConfig] = None,
+    num_cores: int = 4,
+    tolerance: float = 3.0,
+) -> float:
+    """Ratio of simulated to analytically estimated cycles.
+
+    Returns ``simulated / estimated``; raises AssertionError when the
+    ratio leaves ``[1/tolerance, tolerance]`` — the tripwire for
+    structurally broken simulations.
+    """
+    model = AnalyticalModel(config=config)
+    estimate = model.estimate(result, num_cores=num_cores)
+    if estimate.total <= 0:
+        raise ValueError("estimate is degenerate (no work)")
+    ratio = result.cycles / estimate.total
+    assert 1.0 / tolerance <= ratio <= tolerance, (
+        f"simulated cycles {result.cycles} vs analytical {estimate.total:.0f} "
+        f"(ratio {ratio:.2f}) outside [{1 / tolerance:.2f}, {tolerance:.2f}]: "
+        f"breakdown {estimate.breakdown()}"
+    )
+    return ratio

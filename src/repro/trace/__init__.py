@@ -1,0 +1,39 @@
+"""Memory-trace infrastructure.
+
+The reproduction is trace-driven: each workload in
+:mod:`repro.workloads` emits a block-granularity, multi-core memory
+trace annotated with the information the paper assumes the ISA provides
+(Sec. 4.1): whether an access touches approximate data, the element data
+type, and the programmer-declared value range. Traces also carry the
+block *values* needed by the Doppelgänger map computation, stored once
+in a value table and referenced by index.
+"""
+
+from repro.trace.record import Access, DTYPE_INFO, DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import Trace, TraceBuilder
+from repro.trace.io import load_trace, save_trace
+from repro.trace.multiprogram import merge_traces
+from repro.trace.synth import (
+    random_pattern,
+    sequential_pattern,
+    strided_pattern,
+    zipf_pattern,
+)
+
+__all__ = [
+    "Access",
+    "DType",
+    "DTYPE_INFO",
+    "Region",
+    "RegionMap",
+    "Trace",
+    "TraceBuilder",
+    "load_trace",
+    "merge_traces",
+    "random_pattern",
+    "save_trace",
+    "sequential_pattern",
+    "strided_pattern",
+    "zipf_pattern",
+]

@@ -1,0 +1,111 @@
+"""Trace serialization.
+
+Traces are expensive to regenerate (the workloads compute real kernels
+to populate their output regions), so the harness and downstream users
+can persist them: :func:`save_trace` writes a single compressed
+``.npz`` file; :func:`load_trace` restores a fully equivalent
+:class:`~repro.trace.trace.Trace`.
+
+The ragged value table is stored as one concatenated float64 array plus
+offsets; regions are stored column-wise with their annotations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Write ``trace`` to ``path`` (.npz, compressed)."""
+    values_flat = (
+        np.concatenate([np.asarray(v, dtype=np.float64) for v in trace.values])
+        if trace.values
+        else np.empty(0, dtype=np.float64)
+    )
+    offsets = np.zeros(len(trace.values) + 1, dtype=np.int64)
+    for i, v in enumerate(trace.values):
+        offsets[i + 1] = offsets[i] + len(v)
+
+    image_addrs = np.array(sorted(trace.initial_image), dtype=np.int64)
+    image_vids = np.array(
+        [trace.initial_image[a] for a in image_addrs], dtype=np.int64
+    )
+
+    regions = list(trace.regions)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        name=np.bytes_(trace.name.encode()),
+        block_size=np.int64(trace.block_size),
+        cores=trace.cores,
+        addrs=trace.addrs,
+        is_write=trace.is_write,
+        approx=trace.approx,
+        region_ids=trace.region_ids,
+        value_ids=trace.value_ids,
+        gaps=trace.gaps,
+        values_flat=values_flat,
+        value_offsets=offsets,
+        image_addrs=image_addrs,
+        image_vids=image_vids,
+        region_names=np.array([r.name for r in regions], dtype=object),
+        region_base=np.array([r.base for r in regions], dtype=np.int64),
+        region_size=np.array([r.size for r in regions], dtype=np.int64),
+        region_dtype=np.array([int(r.dtype) for r in regions], dtype=np.int64),
+        region_approx=np.array([r.approx for r in regions], dtype=bool),
+        region_vmin=np.array([r.vmin for r in regions], dtype=np.float64),
+        region_vmax=np.array([r.vmax for r in regions], dtype=np.float64),
+        allow_pickle=True,
+    )
+
+
+def load_trace(path: str) -> Trace:
+    """Restore a trace written by :func:`save_trace`."""
+    with np.load(path, allow_pickle=True) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported trace format version {version}")
+
+        regions = RegionMap()
+        names = data["region_names"]
+        for i in range(len(names)):
+            regions.add(
+                Region(
+                    str(names[i]),
+                    int(data["region_base"][i]),
+                    int(data["region_size"][i]),
+                    DType(int(data["region_dtype"][i])),
+                    approx=bool(data["region_approx"][i]),
+                    vmin=float(data["region_vmin"][i]),
+                    vmax=float(data["region_vmax"][i]),
+                )
+            )
+
+        offsets = data["value_offsets"]
+        flat = data["values_flat"]
+        values = [
+            flat[offsets[i] : offsets[i + 1]] for i in range(len(offsets) - 1)
+        ]
+        initial_image = dict(
+            zip(data["image_addrs"].tolist(), data["image_vids"].tolist())
+        )
+        return Trace(
+            data["name"].item().decode(),
+            regions,
+            data["cores"],
+            data["addrs"],
+            data["is_write"],
+            data["approx"],
+            data["region_ids"],
+            data["value_ids"],
+            data["gaps"],
+            values,
+            initial_image,
+            int(data["block_size"]),
+        )

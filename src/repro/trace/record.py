@@ -1,0 +1,73 @@
+"""Access records and element data types.
+
+The paper assumes ISA support (Sec. 4.1, citing EnerJ/Truffle-style
+annotations) that tags each load/store with whether it targets
+approximate data and with the element data type; the declared
+``min``/``max`` range is registered at the LLC once at program start.
+:class:`Access` carries exactly that information per trace record.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+import numpy as np
+
+
+class DType(enum.IntEnum):
+    """Element data types supported by the annotations."""
+
+    U8 = 0
+    I16 = 1
+    I32 = 2
+    F32 = 3
+    F64 = 4
+
+
+class _DTypeInfo(NamedTuple):
+    """Static properties of an element data type."""
+
+    bits: int
+    is_integer: bool
+    numpy_dtype: np.dtype
+
+
+DTYPE_INFO = {
+    DType.U8: _DTypeInfo(8, True, np.dtype(np.uint8)),
+    DType.I16: _DTypeInfo(16, True, np.dtype(np.int16)),
+    DType.I32: _DTypeInfo(32, True, np.dtype(np.int32)),
+    DType.F32: _DTypeInfo(32, False, np.dtype(np.float32)),
+    DType.F64: _DTypeInfo(64, False, np.dtype(np.float64)),
+}
+
+
+def elements_per_block(dtype: DType, block_size: int = 64) -> int:
+    """How many elements of ``dtype`` fit in one cache block."""
+    return block_size * 8 // DTYPE_INFO[dtype].bits
+
+
+class Access(NamedTuple):
+    """One memory reference in a trace.
+
+    Attributes:
+        core: issuing core id (0-3 in the paper's 4-core CMP).
+        addr: byte address (block aligned by the generators).
+        is_write: store vs load.
+        approx: targets programmer-annotated approximate data.
+        region_id: index into the trace's region list (-1 for precise
+            data outside any annotated region).
+        value_id: index into the trace's value table giving the block's
+            contents after this access (-1 when the access does not
+            change or need values).
+        gap: number of non-memory instructions the core executed since
+            its previous memory reference (drives the timing model).
+    """
+
+    core: int
+    addr: int
+    is_write: bool
+    approx: bool
+    region_id: int
+    value_id: int
+    gap: int

@@ -1,0 +1,146 @@
+"""Annotated address-space regions.
+
+A :class:`Region` corresponds to one programmer annotation from Sec. 4.1
+of the paper: a contiguous range of the address space holding elements
+of a single data type, marked precise or approximate, with the expected
+``[vmin, vmax]`` value range for approximate data. Runtime values
+outside the declared range are clamped by the map generator, exactly as
+the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.record import DTYPE_INFO, DType, elements_per_block
+
+
+@dataclass(frozen=True)
+class Region:
+    """One annotated region of the address space.
+
+    Attributes:
+        name: human-readable label (e.g. ``"prices"``).
+        base: starting byte address (must be block aligned).
+        size: length in bytes.
+        dtype: element data type.
+        approx: whether the region is annotated approximate.
+        vmin: declared minimum element value (approximate regions).
+        vmax: declared maximum element value (approximate regions).
+    """
+
+    name: str
+    base: int
+    size: int
+    dtype: DType
+    approx: bool = False
+    vmin: float = 0.0
+    vmax: float = 0.0
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r}: size must be positive")
+        if self.base < 0:
+            raise ValueError(f"region {self.name!r}: negative base address")
+        if self.approx and not self.vmax > self.vmin:
+            raise ValueError(
+                f"approximate region {self.name!r} needs vmax > vmin, got "
+                f"[{self.vmin}, {self.vmax}]"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    @property
+    def elem_bytes(self) -> int:
+        """Size of one element in bytes."""
+        return DTYPE_INFO[self.dtype].bits // 8
+
+    @property
+    def num_elements(self) -> int:
+        """Number of elements the region holds."""
+        return self.size // self.elem_bytes
+
+    def elements_per_block(self, block_size: int = 64) -> int:
+        """Elements per cache block for this region's data type."""
+        return elements_per_block(self.dtype, block_size)
+
+    def num_blocks(self, block_size: int = 64) -> int:
+        """Number of cache blocks the region spans (base is aligned)."""
+        return (self.size + block_size - 1) // block_size
+
+    def block_addrs(self, block_size: int = 64) -> range:
+        """Byte addresses of each block in the region."""
+        return range(self.base, self.base + self.num_blocks(block_size) * block_size, block_size)
+
+    def contains(self, addr: int) -> bool:
+        """Whether ``addr`` falls inside the region."""
+        return self.base <= addr < self.end
+
+
+class RegionMap:
+    """Ordered collection of non-overlapping regions with address lookup.
+
+    Regions are laid out by the workloads; this container validates that
+    they do not overlap and answers "which region does this address
+    belong to" queries for the simulators.
+    """
+
+    def __init__(self, regions: Optional[List[Region]] = None):
+        self._regions: List[Region] = []
+        for region in regions or []:
+            self.add(region)
+
+    def add(self, region: Region) -> int:
+        """Add a region; returns its region id. Raises on overlap."""
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ValueError(
+                    f"region {region.name!r} [{region.base:#x}, {region.end:#x}) "
+                    f"overlaps {existing.name!r} [{existing.base:#x}, {existing.end:#x})"
+                )
+        self._regions.append(region)
+        return len(self._regions) - 1
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self):
+        return iter(self._regions)
+
+    def __getitem__(self, region_id: int) -> Region:
+        return self._regions[region_id]
+
+    def find(self, addr: int) -> Optional[Region]:
+        """Region containing ``addr``, or None."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def find_id(self, addr: int) -> int:
+        """Region id containing ``addr``, or -1."""
+        for region_id, region in enumerate(self._regions):
+            if region.contains(addr):
+                return region_id
+        return -1
+
+    def approx_regions(self) -> List[Region]:
+        """All approximate regions."""
+        return [r for r in self._regions if r.approx]
+
+    def approx_bytes(self) -> int:
+        """Total bytes of approximate data."""
+        return sum(r.size for r in self._regions if r.approx)
+
+    def total_bytes(self) -> int:
+        """Total bytes across all regions."""
+        return sum(r.size for r in self._regions)
+
+    def approx_fraction(self) -> float:
+        """Fraction of annotated bytes that are approximate."""
+        total = self.total_bytes()
+        return self.approx_bytes() / total if total else 0.0

@@ -1,0 +1,107 @@
+"""Synthetic access-pattern generators.
+
+Reusable address-stream shapes from which the workload trace generators
+compose their reference behaviour: sequential scans (streaming kernels
+like blackscholes), strided walks (structure-of-arrays layouts), uniform
+random references (canneal's netlist swaps — the paper singles canneal
+out as the most miss-sensitive benchmark at 12.2 MPKI), and Zipf-skewed
+reuse (ferret's database lookups).
+
+All generators return *block indices* into a region; the
+:class:`~repro.trace.trace.TraceBuilder` converts them to addresses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sequential_pattern(num_blocks: int, repeats: int = 1) -> np.ndarray:
+    """Blocks 0..num_blocks-1 scanned in order, ``repeats`` times."""
+    if num_blocks <= 0:
+        raise ValueError("num_blocks must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    return np.tile(np.arange(num_blocks, dtype=np.int64), repeats)
+
+
+def strided_pattern(num_blocks: int, stride: int, count: int) -> np.ndarray:
+    """``count`` accesses walking the region with ``stride`` blocks."""
+    if num_blocks <= 0 or stride <= 0 or count <= 0:
+        raise ValueError("num_blocks, stride and count must be positive")
+    return (np.arange(count, dtype=np.int64) * stride) % num_blocks
+
+
+def random_pattern(num_blocks: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """``count`` uniformly random block indices."""
+    if num_blocks <= 0 or count <= 0:
+        raise ValueError("num_blocks and count must be positive")
+    return rng.integers(0, num_blocks, size=count, dtype=np.int64)
+
+
+def zipf_pattern(
+    num_blocks: int, count: int, rng: np.random.Generator, alpha: float = 1.2
+) -> np.ndarray:
+    """``count`` Zipf-skewed block indices (hot blocks reused often).
+
+    Block popularity follows rank^(-alpha) over a random permutation of
+    the region so that hot blocks are scattered in the address space.
+    """
+    if num_blocks <= 0 or count <= 0:
+        raise ValueError("num_blocks and count must be positive")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    ranks = np.arange(1, num_blocks + 1, dtype=np.float64)
+    probs = ranks ** (-alpha)
+    probs /= probs.sum()
+    perm = rng.permutation(num_blocks)
+    picks = rng.choice(num_blocks, size=count, p=probs)
+    return perm[picks].astype(np.int64)
+
+
+def interleave_streams(streams) -> tuple:
+    """Interleave per-core access streams round-robin.
+
+    Models the cores executing *simultaneously*: access ``j`` of every
+    core lands before access ``j + 1`` of any core, which is what
+    creates real contention in the shared LLC (trace order is the
+    simulator's notion of time).
+
+    Args:
+        streams: one int64 array of block indices per core.
+
+    Returns:
+        ``(indices, cores)`` parallel arrays covering every stream.
+    """
+    if not streams:
+        raise ValueError("need at least one stream")
+    num_cores = len(streams)
+    longest = max(len(s) for s in streams)
+    padded = np.full((num_cores, longest), -1, dtype=np.int64)
+    for c, stream in enumerate(streams):
+        padded[c, : len(stream)] = stream
+    flat = padded.T.reshape(-1)
+    core_grid = np.tile(np.arange(num_cores, dtype=np.int8), longest)
+    keep = flat >= 0
+    return flat[keep], core_grid[keep]
+
+
+def partition_blocks(num_blocks: int, num_cores: int = 4):
+    """Split ``range(num_blocks)`` into contiguous per-core chunks."""
+    bounds = np.linspace(0, num_blocks, num_cores + 1).astype(np.int64)
+    return [np.arange(bounds[c], bounds[c + 1], dtype=np.int64) for c in range(num_cores)]
+
+
+def interleave_cores(n: int, num_cores: int = 4, mode: str = "block") -> np.ndarray:
+    """Assign ``n`` accesses to cores.
+
+    ``block`` mode splits the stream into contiguous per-core chunks and
+    interleaves them round-robin (data-parallel loop chunking, the way
+    PARSEC partitions work); ``roundrobin`` alternates every access.
+    """
+    if mode == "roundrobin":
+        return (np.arange(n, dtype=np.int8) % num_cores).astype(np.int8)
+    if mode == "block":
+        chunk = (n + num_cores - 1) // num_cores
+        return (np.arange(n, dtype=np.int64) // chunk).astype(np.int8)
+    raise ValueError(f"unknown interleave mode {mode!r}")

@@ -1,0 +1,40 @@
+"""The nine annotated benchmarks of the paper's evaluation (Sec. 4.1).
+
+PARSEC: blackscholes, canneal, ferret, fluidanimate, swaptions.
+AxBench: inversek2j, jmeint, jpeg, kmeans.
+
+Each workload provides realistic synthetic data with programmer
+annotations, the real kernel with an application-level error metric,
+and a multi-core memory trace generator. See
+:class:`repro.workloads.base.Workload` and DESIGN.md Sec. 6 for how
+each dataset is engineered to exhibit the paper's documented value
+behaviour.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.canneal import Canneal
+from repro.workloads.ferret import Ferret
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.inversek2j import Inversek2j
+from repro.workloads.jmeint import Jmeint
+from repro.workloads.jpeg import Jpeg
+from repro.workloads.kmeans import Kmeans
+from repro.workloads.swaptions import Swaptions
+from repro.workloads.registry import all_workloads, get_workload, workload_names
+
+__all__ = [
+    "Blackscholes",
+    "Canneal",
+    "Ferret",
+    "Fluidanimate",
+    "Inversek2j",
+    "Jmeint",
+    "Jpeg",
+    "Kmeans",
+    "Swaptions",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+]

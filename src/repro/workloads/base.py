@@ -1,0 +1,256 @@
+"""Workload abstraction: annotated applications with kernels and traces.
+
+Each workload reproduces one of the paper's benchmarks (PARSEC or
+AxBench) as a triple:
+
+1. **Data + annotations** — realistic input data laid out in annotated
+   address-space :class:`~repro.trace.region.Region` s (approximate
+   regions carry dtype and declared ``[vmin, vmax]``, Sec. 4.1).
+2. **Kernel** — the real algorithm, runnable precisely or with its
+   approximate arrays routed through a
+   :class:`~repro.core.functional.BlockApproximator` (the paper's Pin
+   error methodology), plus the application-level error metric from
+   the prior work the paper cites.
+3. **Trace generator** — a multi-core, block-granularity memory trace
+   with the access pattern the application exhibits, consumed by the
+   cycle-accounting hierarchy simulation.
+
+Because the original inputs (PARSEC simmedium, AxBench datasets) are
+not redistributable, each workload synthesizes data engineered to exhibit
+the documented value behaviour (see DESIGN.md Sec. 6): shared pricing
+parameters in blackscholes/swaptions, smooth integer pixels in jpeg,
+clustered features in ferret/kmeans, spread floats in inversek2j and
+jmeint.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.functional import BlockApproximator, IdentityApproximator
+from repro.trace.record import DTYPE_INFO, DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import Trace, TraceBuilder
+
+#: Base virtual address for workload data; regions are packed above it.
+HEAP_BASE = 0x1000_0000
+BLOCK = 64
+
+
+class Workload(abc.ABC):
+    """Base class for the nine benchmark reproductions.
+
+    Args:
+        seed: RNG seed — all data generation is deterministic per seed.
+        scale: multiplies the default dataset size (tests use < 1.0 for
+            speed; benches use 1.0).
+    """
+
+    #: benchmark name, matching the paper's figures.
+    name: str = "base"
+    #: Table 2 approximate-footprint percentage from the paper (for
+    #: side-by-side reporting, not used by any computation).
+    paper_approx_footprint: float = 0.0
+    #: short description of the application error metric.
+    error_metric: str = ""
+
+    def __init__(self, seed: int = 0, scale: float = 1.0):
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.seed = seed
+        self.scale = scale
+        self.rng = np.random.default_rng(seed)
+        self.regions = RegionMap()
+        self._data: Dict[str, np.ndarray] = {}
+        self._next_base = HEAP_BASE
+        self._build()
+
+    # ------------------------------------------------------------ data setup
+
+    @abc.abstractmethod
+    def _build(self) -> None:
+        """Allocate regions and generate input data (subclass hook)."""
+
+    def _add_region(
+        self,
+        name: str,
+        data: np.ndarray,
+        dtype: DType,
+        approx: bool,
+        vmin: float = 0.0,
+        vmax: float = 0.0,
+    ) -> Region:
+        """Register a data array as an annotated region.
+
+        The array is stored (flattened) as the region's backing data;
+        its byte size is padded to a whole number of cache blocks.
+        """
+        data = np.ascontiguousarray(data)
+        elem_bytes = DTYPE_INFO[dtype].bits // 8
+        size = data.size * elem_bytes
+        padded = (size + BLOCK - 1) // BLOCK * BLOCK
+        region = Region(
+            name, self._next_base, padded, dtype, approx=approx, vmin=vmin, vmax=vmax
+        )
+        self.regions.add(region)
+        self._next_base += padded + BLOCK  # one guard block between regions
+        self._data[name] = data
+        return region
+
+    def region_data(self, name: str) -> np.ndarray:
+        """Backing data array of a region."""
+        return self._data[name]
+
+    def region(self, name: str) -> Region:
+        """Region by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named {name!r} in {self.name}")
+
+    # --------------------------------------------------------------- kernel
+
+    @abc.abstractmethod
+    def run(self, approximator=None):
+        """Execute the kernel; returns the application output.
+
+        Args:
+            approximator: a BlockApproximator (or IdentityApproximator /
+                None for the precise baseline run).
+        """
+
+    @abc.abstractmethod
+    def error(self, precise_output, approx_output) -> float:
+        """Application-level output error between two runs (0.0-1.0+)."""
+
+    def evaluate_error(self, approximator: BlockApproximator) -> float:
+        """Convenience: run precisely and approximately, return error."""
+        precise = self.run(IdentityApproximator())
+        approx = self.run(approximator)
+        return self.error(precise, approx)
+
+    def refresh_outputs(self) -> None:
+        """Populate output regions with real (precisely computed) data.
+
+        Workloads whose annotated regions include kernel *outputs*
+        (prices, angles, reconstructed images) override this to run the
+        kernel once and store the results, so LLC snapshots and traces
+        carry the values the cache would actually hold rather than the
+        zero-initialised buffers. Idempotent; default is a no-op for
+        input-only workloads.
+        """
+
+    # ---------------------------------------------------------------- trace
+
+    @abc.abstractmethod
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        """Append the workload's access stream to ``builder``."""
+
+    def build_trace(self) -> Trace:
+        """Generate the workload's multi-core memory trace."""
+        # Output regions must carry the values the cache would hold
+        # mid-run, not their zero-initialised state.
+        self.refresh_outputs()
+        builder = TraceBuilder(self.name, self.regions)
+        value_ids: Dict[str, np.ndarray] = {}
+        for region in self.regions:
+            data = self._data[region.name]
+            flat = np.asarray(data).reshape(-1)
+            # Pad the flat data to the padded region size so every
+            # block has registered values.
+            need = region.num_blocks(BLOCK) * region.elements_per_block(BLOCK)
+            if len(flat) < need:
+                flat = np.concatenate([flat, np.zeros(need - len(flat), dtype=flat.dtype)])
+            value_ids[region.name] = builder.register_block_values(region, flat)
+        self._emit_trace(builder, value_ids)
+        return builder.build()
+
+    # ------------------------------------------------------------- reporting
+
+    def approx_footprint_fraction(self) -> float:
+        """Fraction of annotated bytes that are approximate."""
+        return self.regions.approx_fraction()
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        total_kb = self.regions.total_bytes() / 1024
+        return (
+            f"{self.name}: {len(self.regions)} regions, {total_kb:.0f} KB footprint, "
+            f"{100 * self.approx_footprint_fraction():.1f}% approximate "
+            f"(paper Table 2: {self.paper_approx_footprint:.1f}%)"
+        )
+
+    # ------------------------------------------------------------ utilities
+
+    def _scaled(self, n: int, minimum: int = 1) -> int:
+        """Scale a dataset size parameter."""
+        return max(int(n * self.scale), minimum)
+
+    # ------------------------------------------------- trace emission helpers
+
+    def _emit_parallel_scan(
+        self,
+        builder: TraceBuilder,
+        value_ids: Dict[str, np.ndarray],
+        region_name: str,
+        repeats: int = 1,
+        write: bool = False,
+        gap: int = 10,
+        num_cores: int = 4,
+    ) -> None:
+        """Data-parallel streaming pass(es) over a region.
+
+        The region's blocks are partitioned contiguously across cores
+        (PARSEC-style loop chunking); the cores scan their partitions
+        simultaneously (round-robin interleaved in trace order).
+        """
+        from repro.trace.synth import interleave_streams, partition_blocks
+
+        region = self.region(region_name)
+        rid = self.regions.find_id(region.base)
+        n_blocks = region.num_blocks(BLOCK)
+        parts = partition_blocks(n_blocks, num_cores)
+        streams = [np.tile(p, repeats) for p in parts]
+        indices, cores = interleave_streams(streams)
+        vids = value_ids[region_name][indices] if write else None
+        builder.append_region_accesses(
+            rid, indices, cores, is_write=write, value_ids=vids, gap=gap
+        )
+
+    def _emit_random_accesses(
+        self,
+        builder: TraceBuilder,
+        value_ids: Dict[str, np.ndarray],
+        region_name: str,
+        count: int,
+        write_fraction: float = 0.0,
+        gap: int = 10,
+        num_cores: int = 4,
+        rng: Optional[np.random.Generator] = None,
+        zipf_alpha: float = 0.0,
+    ) -> None:
+        """Random accesses into a region (canneal-style).
+
+        ``zipf_alpha`` > 0 skews popularity (hot blocks reused often),
+        matching the locality real pointer-chasing workloads exhibit;
+        0 gives uniform random.
+        """
+        from repro.trace.synth import zipf_pattern
+
+        rng = rng or self.rng
+        region = self.region(region_name)
+        rid = self.regions.find_id(region.base)
+        n_blocks = region.num_blocks(BLOCK)
+        if zipf_alpha > 0:
+            indices = zipf_pattern(n_blocks, count, rng, alpha=zipf_alpha)
+        else:
+            indices = rng.integers(0, n_blocks, size=count, dtype=np.int64)
+        cores = (np.arange(count) % num_cores).astype(np.int8)
+        writes = rng.random(count) < write_fraction
+        vids = np.where(writes, value_ids[region_name][indices], -1)
+        builder.append_region_accesses(
+            rid, indices, cores, is_write=writes, value_ids=vids, gap=gap
+        )

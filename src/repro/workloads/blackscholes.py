@@ -1,0 +1,169 @@
+"""blackscholes — PARSEC option-pricing benchmark.
+
+Prices a portfolio of European options with the Black-Scholes
+closed-form formula. The paper highlights (Secs. 2, 5.1) that
+blackscholes exhibits substantial *exact* redundancy because pricing
+parameters repeat — "common interest rates" — which is why exact
+deduplication performs unusually well on it (Fig. 8). We engineer the
+same behaviour: rates and volatilities are drawn from small discrete
+sets and spot/strike prices from a quantized grid (real option chains
+quote at fixed ticks).
+
+Annotations: all floating-point arrays (spot, strike, rate, volatility,
+time-to-maturity, prices) are approximate; option-type flags and the
+portfolio workspace are precise. One declared range covers every
+approximate float, per Sec. 4.1. Error metric: mean relative error of
+option prices (Sidiroglou-Douskos et al. / San Miguel et al.).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+
+#: Shared declared range for every approximate float (Sec. 4.1: one
+#: range per data type per application).
+VMIN, VMAX = 0.0, 100.0
+
+
+def _norm_cdf(x: np.ndarray) -> np.ndarray:
+    """Standard normal CDF (Abramowitz & Stegun 7.1.26, vectorized)."""
+    t = 1.0 / (1.0 + 0.2316419 * np.abs(x))
+    poly = t * (
+        0.319381530
+        + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429)))
+    )
+    pdf = np.exp(-0.5 * x * x) / np.sqrt(2.0 * np.pi)
+    cdf = 1.0 - pdf * poly
+    return np.where(x >= 0, cdf, 1.0 - cdf)
+
+
+class Blackscholes(Workload):
+    """European option pricing over a synthetic option chain."""
+
+    name = "blackscholes"
+    paper_approx_footprint = 61.8
+    error_metric = "mean relative price error"
+
+    #: PARSEC iterates the pricing loop many times; a few passes are
+    #: enough for the trace's reuse behaviour.
+    TRACE_PASSES = 4
+
+    def _build(self) -> None:
+        # A real option chain: each underlying quotes a ladder of
+        # strikes at several expiries. Spot repeats for every option on
+        # the same underlying, strike ladders repeat across expiries,
+        # rates/maturities cycle — whole cache blocks repeat *exactly*,
+        # which is the redundancy the paper observes ("common interest
+        # rates") and why exact deduplication does well here (Fig. 8).
+        n_under = self._scaled(96)
+        strikes_per = 16  # one cache block per ladder
+        expiries = np.array([0.25, 0.5, 1.0, 2.0], dtype=np.float32)
+        variants = 4  # call/put x 2 vol surfaces
+        per_under = strikes_per * len(expiries) * variants
+        n = n_under * per_under
+        rng = self.rng
+
+        spots = np.round(rng.uniform(20.0, 80.0, n_under) * 2.0) / 2.0
+        spot = np.repeat(spots, per_under)
+        ladder_steps = (np.arange(strikes_per) - strikes_per / 2 + 0.5) * 2.5
+        # Ladders re-center per expiry (forward prices drift with
+        # maturity), so strike blocks repeat across the variants of one
+        # (underlying, expiry) pair but not across expiries.
+        expiry_shift = np.array([0.0, 0.5, 1.5, 3.0])
+        ladders = (
+            spots[:, None, None]
+            + ladder_steps[None, None, :]
+            + expiry_shift[None, :, None]
+        )  # (underlying, expiry, strike)
+        strike = np.tile(ladders[:, None, :, :], (1, variants, 1, 1)).reshape(-1)
+        rates_by_expiry = np.array([0.025, 0.0275, 0.05, 0.1], dtype=np.float32)
+        rate = np.tile(
+            np.repeat(rates_by_expiry, strikes_per)[None, :].repeat(variants, 0).reshape(-1),
+            n_under,
+        )
+        vols = np.array([0.15, 0.20, 0.30, 0.40], dtype=np.float32)
+        vol = np.tile(np.repeat(vols, strikes_per * len(expiries)), n_under)
+        tte = np.tile(
+            np.repeat(expiries, strikes_per)[None, :].repeat(variants, 0).reshape(-1),
+            n_under,
+        )
+        otype = np.tile(
+            np.repeat(np.array([0, 1, 0, 1], dtype=np.int32), strikes_per * len(expiries)),
+            n_under,
+        )
+
+        self._add_region("spot", spot.astype(np.float32), DType.F32, True, VMIN, VMAX)
+        self._add_region("strike", strike.astype(np.float32), DType.F32, True, VMIN, VMAX)
+        self._add_region("rate", rate, DType.F32, True, VMIN, VMAX)
+        self._add_region("volatility", vol, DType.F32, True, VMIN, VMAX)
+        self._add_region("maturity", tte, DType.F32, True, VMIN, VMAX)
+        self._add_region(
+            "prices", np.zeros(n, dtype=np.float32), DType.F32, True, VMIN, VMAX
+        )
+        self._add_region("otype", otype, DType.I32, False)
+        # Portfolio workspace (precise): per-option bookkeeping the real
+        # benchmark keeps (option ids, Greeks buffers), sized to land
+        # the approximate LLC footprint near Table 2's 61.8%.
+        workspace = rng.integers(0, 1 << 20, size=3 * n, dtype=np.int32)
+        self._add_region("workspace", workspace, DType.I32, False)
+
+    def refresh_outputs(self) -> None:
+        """Store precisely computed prices in the prices region."""
+        self._data["prices"] = self.run(None)
+
+    # ----------------------------------------------------------------- kernel
+
+    def run(self, approximator=None):
+        """Price every option; returns the price vector."""
+        approximator = approximator or IdentityApproximator()
+        spot = approximator.filter(self.region_data("spot"), self.region("spot"))
+        strike = approximator.filter(self.region_data("strike"), self.region("strike"))
+        rate = approximator.filter(self.region_data("rate"), self.region("rate"))
+        vol = approximator.filter(self.region_data("volatility"), self.region("volatility"))
+        tte = approximator.filter(self.region_data("maturity"), self.region("maturity"))
+        otype = self.region_data("otype")
+
+        s = spot.astype(np.float64)
+        k = strike.astype(np.float64)
+        r = np.maximum(rate.astype(np.float64), 1e-6)
+        v = np.maximum(vol.astype(np.float64), 1e-4)
+        t = np.maximum(tte.astype(np.float64), 1e-4)
+        sqrt_t = np.sqrt(t)
+        d1 = (np.log(np.maximum(s, 1e-9) / np.maximum(k, 1e-9)) + (r + 0.5 * v * v) * t) / (
+            v * sqrt_t
+        )
+        d2 = d1 - v * sqrt_t
+        call = s * _norm_cdf(d1) - k * np.exp(-r * t) * _norm_cdf(d2)
+        put = k * np.exp(-r * t) * _norm_cdf(-d2) - s * _norm_cdf(-d1)
+        prices = np.where(otype == 1, put, call).astype(np.float32)
+
+        # The computed prices stream back through the LLC as well.
+        prices = approximator.filter(prices, self.region("prices"))
+        return prices
+
+    def error(self, precise_output, approx_output) -> float:
+        """Portfolio-normalized price error: mean |dprice| / mean price.
+
+        The aggregate form keeps deep out-of-the-money options (prices
+        near zero) from dominating a per-option relative metric.
+        """
+        p = np.asarray(precise_output, dtype=np.float64)
+        a = np.asarray(approx_output, dtype=np.float64)
+        scale = max(float(np.mean(np.abs(p))), 1e-12)
+        return float(np.mean(np.abs(a - p)) / scale)
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        for _ in range(self.TRACE_PASSES):
+            for name in ("spot", "strike", "rate", "volatility", "maturity", "otype"):
+                self._emit_parallel_scan(builder, value_ids, name, gap=24)
+            self._emit_parallel_scan(builder, value_ids, "prices", write=True, gap=24)
+            self._emit_parallel_scan(builder, value_ids, "workspace", gap=12)

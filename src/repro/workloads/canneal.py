@@ -1,0 +1,161 @@
+"""canneal — PARSEC simulated-annealing chip-routing benchmark.
+
+Minimizes the total wire length of a netlist by repeatedly swapping
+the grid locations of two random elements and accepting the swap if it
+lowers cost (or probabilistically, at temperature). canneal is the
+paper's stress case: random access over a large netlist makes it the
+benchmark most sensitive to LLC misses (12.2 misses per thousand
+instructions, Sec. 5.2), which is where the shrunken Doppelgänger data
+array shows its runtime and dynamic-energy costs (Figs. 9-11).
+
+Annotations: the element coordinate arrays are approximate *integers*
+(grid coordinates tolerate small perturbations — routing cost changes
+slightly); netlist connectivity is precise. Integer data also makes
+canneal one of the benchmarks where BΔI compression is effective
+(Fig. 8). Error metric: relative difference in final routing cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+
+GRID = 4096  # coordinate grid, fits i16 deltas for BΔI
+
+
+class Canneal(Workload):
+    """Simulated annealing over a synthetic netlist."""
+
+    name = "canneal"
+    paper_approx_footprint = 38.0
+    error_metric = "relative final routing cost"
+
+    SWAP_BATCHES = 24
+    BATCH = 2048
+
+    def _build(self) -> None:
+        n = self._scaled(49152)
+        rng = self.rng
+        # Element coordinates: placed with spatial locality (elements of
+        # the same macro-block sit near each other), so blocks of
+        # consecutive elements have bounded coordinate ranges — the
+        # property that makes both BΔI and map sharing work on them.
+        # Placement legalisation snaps cells to site rows: macro
+        # origins align to 64-unit rows and cells sit on a 16-unit site
+        # grid inside the macro. Quantized coordinates are what give
+        # real netlists their block-level value redundancy.
+        macro = rng.integers(0, (GRID - 64) // 64, size=(n // 64 + 1, 2)) * 64
+        base = np.repeat(macro, 64, axis=0)[:n]
+        coords = base + rng.integers(0, 8, size=(n, 2)) * 8
+        x = coords[:, 0].astype(np.int32)
+        y = coords[:, 1].astype(np.int32)
+        # Netlist: each element connects to a handful of others, mostly
+        # nearby (Rent's rule locality), plus one random long wire.
+        # Neighbour edges are symmetric (+d and -d offsets), so a
+        # swap's cost delta computed over an element's own nets agrees
+        # in sign with the global wire length.
+        ids = np.arange(n)[:, None]
+        neigh = np.concatenate(
+            [(ids + d) % n for d in (1, 17, -1, -17)], axis=1
+        )
+        far = rng.integers(0, n, size=(n, 1))
+        nets = np.concatenate([neigh, far], axis=1).astype(np.int32)
+
+        self._add_region("coord_x", x, DType.I32, True, 0.0, float(GRID))
+        self._add_region("coord_y", y, DType.I32, True, 0.0, float(GRID))
+        self._add_region("netlist", nets, DType.I32, False)
+
+    # ----------------------------------------------------------------- kernel
+
+    def _cost(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Total Manhattan wire length of the netlist."""
+        nets = self.region_data("netlist")
+        dx = np.abs(x[:, None] - x[nets])
+        dy = np.abs(y[:, None] - y[nets])
+        return float(dx.sum() + dy.sum())
+
+    def run(self, approximator=None):
+        """Anneal for a fixed schedule; returns the final routing cost.
+
+        The coordinate arrays pass through the (approximate) LLC at
+        every temperature step — exactly where the hardware would
+        substitute doppelgänger values.
+        """
+        approximator = approximator or IdentityApproximator()
+        rx = self.region("coord_x")
+        ry = self.region("coord_y")
+        x = self.region_data("coord_x").copy()
+        y = self.region_data("coord_y").copy()
+        nets = self.region_data("netlist")
+        rng = np.random.default_rng(self.seed + 1)
+
+        n = len(x)
+        temperature = 2.0
+        for _ in range(8):
+            x = approximator.filter(x, rx)
+            y = approximator.filter(y, ry)
+            # One batch of proposed swaps per temperature step,
+            # evaluated against each element's own nets (standard
+            # parallel-moves annealing approximation).
+            a = rng.integers(0, n, self.BATCH)
+            # Mostly-local proposals (swap with a nearby cell), the
+            # move distribution real placers converge with; the delta
+            # model tracks each element's own nets, so wild non-local
+            # swaps would mis-estimate the incoming-edge cost.
+            b = (a + rng.integers(1, 96, self.BATCH)) % n
+            # Parallel moves must not share elements, or their deltas
+            # are computed against stale positions.
+            combined = np.concatenate([a, b])
+            first = np.zeros(2 * self.BATCH, dtype=bool)
+            first[np.unique(combined, return_index=True)[1]] = True
+            valid = first[: self.BATCH] & first[self.BATCH :] & (a != b)
+            a = a[valid]
+            b = b[valid]
+            cost_a = (np.abs(x[a, None] - x[nets[a]]) + np.abs(y[a, None] - y[nets[a]])).sum(1)
+            cost_b = (np.abs(x[b, None] - x[nets[b]]) + np.abs(y[b, None] - y[nets[b]])).sum(1)
+            xa, ya = x[a].copy(), y[a].copy()
+            new_a = (np.abs(x[b, None] - x[nets[a]]) + np.abs(y[b, None] - y[nets[a]])).sum(1)
+            new_b = (np.abs(xa[:, None] - x[nets[b]]) + np.abs(ya[:, None] - y[nets[b]])).sum(1)
+            delta = (new_a + new_b) - (cost_a + cost_b)
+            accept = (delta < 0) | (
+                rng.random(len(a)) < np.exp(-np.maximum(delta, 0) / (temperature * 256.0))
+            )
+            swap_a = a[accept]
+            swap_b = b[accept]
+            x[swap_a], x[swap_b] = x[swap_b], x[swap_a].copy()
+            y[swap_a], y[swap_b] = y[swap_b], y[swap_a].copy()
+            temperature *= 0.7
+
+        return self._cost(x, y)
+
+    def error(self, precise_output, approx_output) -> float:
+        """Relative difference of the final routing cost."""
+        p = float(precise_output)
+        a = float(approx_output)
+        return abs(a - p) / max(abs(p), 1e-12)
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        # Random pointer-chasing over the coordinate and netlist
+        # arrays — the access behaviour behind canneal's 12.2 MPKI.
+        rng = np.random.default_rng(self.seed + 2)
+        for _ in range(self.SWAP_BATCHES):
+            self._emit_random_accesses(
+                builder, value_ids, "coord_x", self.BATCH, write_fraction=0.12,
+                gap=6, rng=rng, zipf_alpha=0.7,
+            )
+            self._emit_random_accesses(
+                builder, value_ids, "coord_y", self.BATCH, write_fraction=0.12,
+                gap=6, rng=rng, zipf_alpha=0.7,
+            )
+            self._emit_random_accesses(
+                builder, value_ids, "netlist", self.BATCH * 2, write_fraction=0.0,
+                gap=6, rng=rng,
+            )

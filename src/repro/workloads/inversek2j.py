@@ -1,0 +1,126 @@
+"""inversek2j — AxBench 2-joint robotic-arm inverse kinematics.
+
+For every target coordinate (x, y), computes the two joint angles
+(theta1, theta2) that place the arm's end effector at the target.
+Nearly the whole footprint is the coordinate and angle arrays, all
+annotated approximate — the paper reports a 99.7% approximate LLC
+footprint (Table 2).
+
+inversek2j is one of the paper's interesting cases: its values spread
+across the whole declared range, so *element-wise* similarity is rare
+(Fig. 2 shows almost no threshold savings) — one far-apart element
+pair disqualifies a block — yet the block-granularity average/range
+hashes still find substantial similarity (Fig. 7) because block
+averages concentrate.
+
+Error metric (AxBench): mean relative error of the end-effector
+position recomputed from the approximate angles via forward
+kinematics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+
+L1 = 0.5  # upper-arm length
+L2 = 0.5  # forearm length
+#: One declared range for all approximate floats: coordinates live in
+#: [-1, 1] (arm reach) and angles in [-pi, pi] ⊂ [-4, 4].
+VMIN, VMAX = -4.0, 4.0
+
+
+def forward_kinematics(theta1: np.ndarray, theta2: np.ndarray):
+    """End-effector position of the 2-joint arm."""
+    x = L1 * np.cos(theta1) + L2 * np.cos(theta1 + theta2)
+    y = L1 * np.sin(theta1) + L2 * np.sin(theta1 + theta2)
+    return x, y
+
+
+class Inversek2j(Workload):
+    """Batch inverse kinematics for a 2-joint planar arm."""
+
+    name = "inversek2j"
+    paper_approx_footprint = 99.7
+    error_metric = "mean relative end-effector position error"
+
+    TRACE_PASSES = 4
+
+    def _build(self) -> None:
+        n = self._scaled(262144)
+        rng = self.rng
+        # Targets trace continuous end-effector trajectories (the
+        # benchmark drives an arm along tool paths): slow sinusoidal
+        # sweeps with jitter. Consecutive targets — and hence whole
+        # cache blocks — are genuinely similar, which is where the
+        # block-hash similarity of Fig. 7 comes from.
+        tpar = np.arange(n) * (2.0 * np.pi / 4096.0)
+        radius = (L1 + L2) * (0.55 + 0.35 * np.sin(tpar / 7.3))
+        phi = np.pi * np.sin(tpar / 3.1) + 0.3 * np.sin(tpar * 1.7)
+        x = radius * np.cos(phi) + rng.normal(0.0, 0.003, n)
+        y = radius * np.sin(phi) + rng.normal(0.0, 0.003, n)
+        x = x.astype(np.float32)
+        y = y.astype(np.float32)
+
+        self._add_region("target_x", x, DType.F32, True, VMIN, VMAX)
+        self._add_region("target_y", y, DType.F32, True, VMIN, VMAX)
+        self._add_region("theta1", np.zeros(n, np.float32), DType.F32, True, VMIN, VMAX)
+        self._add_region("theta2", np.zeros(n, np.float32), DType.F32, True, VMIN, VMAX)
+        # The only precise data: a tiny control structure.
+        self._add_region("control", np.zeros(32, np.int32), DType.I32, False)
+
+    def refresh_outputs(self) -> None:
+        """Store precisely computed joint angles in the output regions."""
+        theta1, theta2 = self.run(None)
+        self._data["theta1"] = np.asarray(theta1, dtype=np.float32)
+        self._data["theta2"] = np.asarray(theta2, dtype=np.float32)
+
+    # ----------------------------------------------------------------- kernel
+
+    def run(self, approximator=None):
+        """Solve IK for every target; returns (theta1, theta2)."""
+        approximator = approximator or IdentityApproximator()
+        x = approximator.filter(self.region_data("target_x"), self.region("target_x"))
+        y = approximator.filter(self.region_data("target_y"), self.region("target_y"))
+
+        x64 = x.astype(np.float64)
+        y64 = y.astype(np.float64)
+        d2 = x64**2 + y64**2
+        cos_t2 = (d2 - L1**2 - L2**2) / (2 * L1 * L2)
+        cos_t2 = np.clip(cos_t2, -1.0, 1.0)
+        theta2 = np.arccos(cos_t2)
+        k1 = L1 + L2 * np.cos(theta2)
+        k2 = L2 * np.sin(theta2)
+        theta1 = np.arctan2(y64, x64) - np.arctan2(k2, k1)
+
+        theta1 = approximator.filter(
+            theta1.astype(np.float32), self.region("theta1")
+        )
+        theta2 = approximator.filter(
+            theta2.astype(np.float32), self.region("theta2")
+        )
+        return theta1, theta2
+
+    def error(self, precise_output, approx_output) -> float:
+        """AxBench metric: relative end-effector error via forward kin."""
+        pt1, pt2 = (np.asarray(v, np.float64) for v in precise_output)
+        at1, at2 = (np.asarray(v, np.float64) for v in approx_output)
+        px, py = forward_kinematics(pt1, pt2)
+        ax, ay = forward_kinematics(at1, at2)
+        dist = np.hypot(ax - px, ay - py)
+        return float(np.mean(dist / (L1 + L2)))
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        for _ in range(self.TRACE_PASSES):
+            self._emit_parallel_scan(builder, value_ids, "target_x", gap=18)
+            self._emit_parallel_scan(builder, value_ids, "target_y", gap=18)
+            self._emit_parallel_scan(builder, value_ids, "theta1", write=True, gap=18)
+            self._emit_parallel_scan(builder, value_ids, "theta2", write=True, gap=18)

@@ -1,0 +1,176 @@
+"""jpeg — AxBench JPEG encoder kernel.
+
+Encodes an image with the standard JPEG pipeline: 8x8 block DCT,
+quantization against the luminance table, dequantization, inverse DCT.
+The image and its reconstruction are 8-bit pixels annotated
+approximate — 98.4% of the LLC footprint (Table 2).
+
+Pixels are the paper's canonical example (Fig. 1): smooth regions
+produce many blocks with near-identical averages and ranges, so map
+sharing is plentiful. Because the elements are 8-bit and the map space
+is 14-bit, the *omit-mapping* rule of Sec. 3.7 applies: the hash is
+used directly, avoiding always-zero low map bits.
+
+Error metric (AxBench): mean relative pixel error of the encoder's
+reconstructed output against the precise run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+
+#: Standard JPEG luminance quantization table (quality ~50).
+QUANT = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+
+def _dct_matrix() -> np.ndarray:
+    """8-point DCT-II orthonormal transform matrix."""
+    k = np.arange(8)
+    mat = np.cos((2 * k[None, :] + 1) * k[:, None] * np.pi / 16.0)
+    mat *= np.sqrt(2.0 / 8.0)
+    mat[0] *= 1.0 / np.sqrt(2.0)
+    return mat
+
+
+DCT = _dct_matrix()
+
+
+def synthetic_image(rng: np.random.Generator, height: int, width: int) -> np.ndarray:
+    """A natural-looking test image: gradients + low-frequency texture.
+
+    Smooth structure is what gives real photographs their block-level
+    similarity (Fig. 1's example image); pure noise would have none.
+    """
+    yy, xx = np.mgrid[0:height, 0:width]
+    img = 96.0 + 80.0 * np.sin(xx / width * 2.3 * np.pi) * np.cos(yy / height * 1.7 * np.pi)
+    img += 40.0 * np.sin((xx + 2 * yy) / 97.0)
+    # A few brighter "objects".
+    for _ in range(6):
+        cy, cx = rng.integers(0, height), rng.integers(0, width)
+        r = rng.integers(12, 40)
+        mask = (yy - cy) ** 2 + (xx - cx) ** 2 < r**2
+        img[mask] += rng.uniform(-50, 50)
+    img += rng.normal(0, 0.7, size=img.shape)
+    return np.clip(img, 0, 255).astype(np.uint8)
+
+
+class Jpeg(Workload):
+    """JPEG encode/decode round trip over a synthetic image."""
+
+    name = "jpeg"
+    paper_approx_footprint = 98.4
+    error_metric = "mean relative pixel error of reconstructed image"
+
+    #: Rows of the i16 coefficient plane the encoder writes before
+    #: entropy coding (the paper's BΔI-friendly integer data in jpeg —
+    #: quantized coefficients are mostly near-zero). Matches the image
+    #: height: the full coefficient plane is materialized.
+    STRIPE_ROWS = 1 << 30
+
+    def _build(self) -> None:
+        side = self._scaled(1024, minimum=64)
+        side = (side // 8) * 8
+        img = synthetic_image(self.rng, side, side)
+        self._add_region("image", img, DType.U8, True, 0.0, 255.0)
+        self._add_region(
+            "output", np.zeros_like(img), DType.U8, True, 0.0, 255.0
+        )
+        stripe_rows = min(self.STRIPE_ROWS, side)
+        coeffs = np.zeros((stripe_rows, side), dtype=np.int16)
+        self._add_region("coefficients", coeffs, DType.I16, True, -1024.0, 1024.0)
+        self._add_region("huffman_state", np.zeros(256, np.int32), DType.I32, False)
+        self.side = side
+
+    def refresh_outputs(self) -> None:
+        """Populate the output and coefficient regions with real data."""
+        self._data["output"] = self.run(None)
+        img = self.region_data("image")
+        stripe = img[: self.region("coefficients").num_elements // self.side].astype(
+            np.float64
+        )
+        blocks = self._blockify(stripe - 128.0)
+        quantized = np.round(np.einsum("ij,njk,lk->nil", DCT, blocks, DCT) / QUANT)
+        self._data["coefficients"] = (
+            self._unblockify(quantized, *stripe.shape).astype(np.int16)
+        )
+
+    # ----------------------------------------------------------------- kernel
+
+    @staticmethod
+    def _blockify(img: np.ndarray) -> np.ndarray:
+        """(H, W) -> (n, 8, 8) raster-ordered 8x8 tiles."""
+        h, w = img.shape
+        return (
+            img.reshape(h // 8, 8, w // 8, 8).transpose(0, 2, 1, 3).reshape(-1, 8, 8)
+        )
+
+    @staticmethod
+    def _unblockify(blocks: np.ndarray, h: int, w: int) -> np.ndarray:
+        return (
+            blocks.reshape(h // 8, w // 8, 8, 8).transpose(0, 2, 1, 3).reshape(h, w)
+        )
+
+    def run(self, approximator=None):
+        """Encode + reconstruct; returns the decoded image."""
+        approximator = approximator or IdentityApproximator()
+        img = approximator.filter(self.region_data("image"), self.region("image"))
+
+        blocks = self._blockify(img.astype(np.float64) - 128.0)
+        coeffs = np.einsum("ij,njk,lk->nil", DCT, blocks, DCT)
+        quantized = np.round(coeffs / QUANT)
+        # The quantized coefficients pass through the LLC via the
+        # encoder's stripe buffer; approximate them stripe by stripe.
+        rcoef = self.region("coefficients")
+        stripe_tiles = max(rcoef.num_elements // 64, 1)
+        for start in range(0, len(quantized), stripe_tiles):
+            chunk = quantized[start : start + stripe_tiles]
+            filtered = approximator.filter(
+                np.clip(chunk, -1024, 1023).astype(np.int16), rcoef
+            )
+            quantized[start : start + stripe_tiles] = filtered.astype(np.float64)
+        dequant = quantized * QUANT
+        recon = np.einsum("ji,njk,kl->nil", DCT, dequant, DCT)
+        out = np.clip(self._unblockify(recon, *img.shape) + 128.0, 0, 255).astype(np.uint8)
+
+        out = approximator.filter(out, self.region("output"))
+        return out
+
+    def error(self, precise_output, approx_output) -> float:
+        """Mean relative pixel error (AxBench image diff), range 0-1."""
+        p = np.asarray(precise_output, dtype=np.float64)
+        a = np.asarray(approx_output, dtype=np.float64)
+        return float(np.mean(np.abs(a - p)) / 255.0)
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        # Streaming encoder: one pass reading the image, the stripe
+        # coefficient buffer written and re-read repeatedly, one pass
+        # writing the output, with the tiny Huffman state touched
+        # throughout.
+        self._emit_parallel_scan(builder, value_ids, "image", gap=28)
+        self._emit_parallel_scan(builder, value_ids, "coefficients", write=True, gap=10)
+        self._emit_parallel_scan(builder, value_ids, "coefficients", gap=10)
+        self._emit_parallel_scan(builder, value_ids, "huffman_state", repeats=8, gap=4)
+        self._emit_parallel_scan(builder, value_ids, "output", write=True, gap=28)
+        self._emit_parallel_scan(builder, value_ids, "image", gap=28)
+        self._emit_parallel_scan(builder, value_ids, "output", write=True, gap=28)

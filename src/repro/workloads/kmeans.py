@@ -1,0 +1,114 @@
+"""kmeans — AxBench image-segmentation clustering benchmark.
+
+AxBench's kmeans clusters the RGB pixels of an image into K dominant
+colors (image segmentation / palette extraction). Pixels of the same
+image region are nearly identical, so consecutive pixels — and hence
+whole cache blocks — are approximately similar: substituting one smooth
+run of pixels for a neighbouring one almost never changes which color
+cluster they land in. That is precisely the Fig. 1 image example the
+paper opens with.
+
+Annotations: the pixel array and the centroid table are approximate
+floats; per-pixel assignments are precise integers. Error metric
+(AxBench): fraction of pixels assigned to a different cluster than the
+precise run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+
+CHANNELS = 4  # RGBA: 4 floats per pixel, 4 pixels per block
+K = 8
+VMIN, VMAX = 0.0, 255.0
+ITERATIONS = 5
+
+
+class Kmeans(Workload):
+    """Lloyd's k-means over the RGB pixels of a synthetic image."""
+
+    name = "kmeans"
+    paper_approx_footprint = 59.6
+    error_metric = "fraction of pixels assigned to a different cluster"
+
+    def _build(self) -> None:
+        # Pixels from a smooth synthetic photo: a handful of dominant
+        # color regions with gentle gradients and mild noise.
+        n = self._scaled(131072)
+        rng = self.rng
+        n_regions = 12
+        palette = rng.uniform(20.0, 235.0, size=(n_regions, CHANNELS))
+        # Smooth run-length region structure: consecutive pixels belong
+        # to the same image region for long stretches.
+        run_lengths = rng.integers(256, 2048, size=4 * n_regions * 8)
+        labels = np.repeat(np.arange(len(run_lengths)) % n_regions, run_lengths)[:n]
+        if len(labels) < n:
+            labels = np.concatenate([labels, np.full(n - len(labels), 0)])
+        gradient = 4.0 * np.sin(np.arange(n) / 8000.0)[:, None]
+        pixels = palette[labels] + gradient + rng.normal(0.0, 1.2, size=(n, CHANNELS))
+        # Camera sensors quantize to 8 bits: pixels are integral values
+        # stored as floats, which is where the abundant block-level
+        # duplication of real image data comes from.
+        pixels = np.rint(np.clip(pixels, VMIN, VMAX)).astype(np.float32)
+        init = pixels[:: n // K][:K].copy()
+
+        self._add_region("pixels", pixels, DType.F32, True, VMIN, VMAX)
+        # Centroids stay precise: the benchmark annotates the *image*
+        # as approximate; the eight centroids are tiny, hot per-thread
+        # accumulators that live in the upper caches.
+        self._add_region("centroids", init, DType.F32, False)
+        self._add_region(
+            "assignments", np.zeros(n, dtype=np.int32), DType.I32, False
+        )
+        # Precise: per-pixel metadata (coordinates, histogram bins) the
+        # full benchmark maintains.
+        meta = rng.integers(0, 1 << 16, size=n, dtype=np.int32)
+        self._add_region("metadata", meta, DType.I32, False)
+
+    # ----------------------------------------------------------------- kernel
+
+    def run(self, approximator=None):
+        """Run Lloyd iterations; returns the final assignment vector."""
+        approximator = approximator or IdentityApproximator()
+        rpixels = self.region("pixels")
+        rcent = self.region("centroids")
+        pixels = self.region_data("pixels")
+        centroids = self.region_data("centroids").astype(np.float64).copy()
+
+        assignments = None
+        for _ in range(ITERATIONS):
+            # Both arrays stream through the LLC each iteration.
+            px = approximator.filter(pixels, rpixels).astype(np.float64)
+            centroids = approximator.filter(
+                centroids.astype(np.float32), rcent
+            ).astype(np.float64)
+            d2 = ((px[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            assignments = d2.argmin(axis=1)
+            for k in range(K):
+                members = px[assignments == k]
+                if len(members):
+                    centroids[k] = members.mean(axis=0)
+        return assignments
+
+    def error(self, precise_output, approx_output) -> float:
+        """Misassignment fraction."""
+        p = np.asarray(precise_output)
+        a = np.asarray(approx_output)
+        return float(np.mean(p != a))
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        for _ in range(ITERATIONS):
+            self._emit_parallel_scan(builder, value_ids, "pixels", gap=14)
+            self._emit_parallel_scan(builder, value_ids, "centroids", repeats=4, gap=6)
+            self._emit_parallel_scan(builder, value_ids, "assignments", write=True, gap=10)
+            self._emit_parallel_scan(builder, value_ids, "metadata", gap=8)
+            self._emit_parallel_scan(builder, value_ids, "centroids", write=True, gap=6)

@@ -1,0 +1,62 @@
+"""Workload registry.
+
+Central lookup for the nine benchmark reproductions, in the order the
+paper's figures present them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import Blackscholes
+from repro.workloads.canneal import Canneal
+from repro.workloads.ferret import Ferret
+from repro.workloads.fluidanimate import Fluidanimate
+from repro.workloads.inversek2j import Inversek2j
+from repro.workloads.jmeint import Jmeint
+from repro.workloads.jpeg import Jpeg
+from repro.workloads.kmeans import Kmeans
+from repro.workloads.swaptions import Swaptions
+
+_REGISTRY: Dict[str, Type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        Blackscholes,
+        Canneal,
+        Ferret,
+        Fluidanimate,
+        Inversek2j,
+        Jmeint,
+        Jpeg,
+        Kmeans,
+        Swaptions,
+    )
+}
+
+
+def workload_names() -> List[str]:
+    """All benchmark names, in figure order."""
+    return list(_REGISTRY)
+
+
+def get_workload(name: str, seed: int = 0, scale: float = 1.0) -> Workload:
+    """Instantiate a workload by name.
+
+    Args:
+        name: benchmark name (see :func:`workload_names`).
+        seed: data-generation seed.
+        scale: dataset size multiplier (tests use < 1).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+    return cls(seed=seed, scale=scale)
+
+
+def all_workloads(seed: int = 0, scale: float = 1.0) -> List[Workload]:
+    """Instantiate every benchmark."""
+    return [get_workload(name, seed=seed, scale=scale) for name in workload_names()]

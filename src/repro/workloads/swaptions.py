@@ -1,0 +1,190 @@
+"""swaptions — PARSEC HJM swaption pricing benchmark.
+
+Prices a portfolio of swaptions via Black's model with a Monte-Carlo
+convexity correction computed on large *precise* scratch buffers (the
+real benchmark simulates full HJM forward-rate paths; the paths and
+accumulators dominate its footprint). Only the input swaption
+parameters are annotated approximate — hence the tiny 1.5% approximate
+footprint of Table 2.
+
+Layout matters: like PARSEC, the portfolio is an **array of structs** —
+one 64-byte cache block holds one swaption's sixteen float fields
+(strike, forward rate, volatility, maturity, tenor, notional, ...).
+Block-level hashes are therefore dominated by the large fields
+(maturity, tenor, notional), and two swaptions merge whenever those
+agree — letting their small-valued fields (interest rates, around
+0.05 inside a declared range of [0, 100]) be substituted freely. That
+is precisely the failure mode Sec. 5.2 describes: "elements with
+relatively smaller values (e.g., interest rates) become overly
+susceptible to approximate similarity", making swaptions one of the
+paper's two high-error benchmarks.
+
+Portfolios also repeat quotes exactly (the same standard swaption is
+quoted many times), giving the exact redundancy that makes
+deduplication effective on swaptions in Fig. 8.
+
+Error metric: portfolio-normalized price error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.functional import IdentityApproximator
+from repro.trace.record import DType
+from repro.trace.trace import TraceBuilder
+from repro.workloads.base import Workload
+from repro.workloads.blackscholes import _norm_cdf
+
+#: Single declared range shared by all approximate floats (Sec. 4.1) —
+#: wide enough for notionals and maturities, brutal for rates.
+VMIN, VMAX = 0.0, 100.0
+
+#: Struct field indices (16 float32 fields = one 64-byte block).
+F_STRIKE, F_FWD, F_VOL, F_MATURITY, F_TENOR, F_NOTIONAL, F_FREQ, F_SPREAD, F_QUOTE, F_PRICE, F_STDERR = range(11)
+FIELDS = 16
+
+
+class Swaptions(Workload):
+    """Black-model swaption pricing over an array-of-structs portfolio."""
+
+    name = "swaptions"
+    paper_approx_footprint = 1.5
+    error_metric = "portfolio-normalized price error"
+
+    TRACE_PASSES = 3
+
+    def _build(self) -> None:
+        n = self._scaled(4096)
+        rng = self.rng
+        # A quote grid: portfolios repeatedly quote the same standard
+        # contracts, so structs duplicate exactly.
+        strikes = np.array([0.03, 0.04, 0.05, 0.06, 0.07])
+        fwds = np.array([0.035, 0.045, 0.055, 0.065])
+        vols = np.array([0.15, 0.20, 0.25])
+        mats = np.array([1.0, 2.0, 5.0, 10.0])
+        tenors = np.array([1.0, 2.0, 5.0])
+        grid = np.array(
+            [
+                (s, f, v, m, t)
+                for m in mats
+                for t in tenors
+                for s in strikes
+                for f in fwds
+                for v in vols
+            ]
+        )
+        picks = rng.integers(0, len(grid), n)
+        structs = np.zeros((n, FIELDS), dtype=np.float32)
+        structs[:, :5] = grid[picks]
+        structs[:, F_NOTIONAL] = 10.0
+        structs[:, F_FREQ] = 2.0
+        structs[:, F_SPREAD] = 0.01
+        # Indicative premium quote carried with each contract — broker
+        # screens list an indicative price next to the terms, and that
+        # field is what keeps differently-priced contracts from hashing
+        # into the same map bin.
+        structs[:, F_QUOTE] = self._black_price(
+            structs[:, F_STRIKE].astype(np.float64),
+            structs[:, F_FWD].astype(np.float64),
+            structs[:, F_VOL].astype(np.float64),
+            structs[:, F_MATURITY].astype(np.float64),
+            structs[:, F_TENOR].astype(np.float64),
+            structs[:, F_NOTIONAL].astype(np.float64),
+        )
+
+        self._add_region(
+            "swaptions", structs.reshape(-1), DType.F32, True, VMIN, VMAX
+        )
+        # Precise HJM scratch: simulated forward-rate paths and MC
+        # accumulators — the bulk of the footprint (hence Table 2's
+        # 1.5% approximate fraction).
+        n_paths = 128
+        n_steps = 22
+        paths = rng.standard_normal((n_paths, n_steps, 12)).astype(np.float64)
+        self._add_region("hjm_paths", paths.reshape(-1), DType.F64, False)
+        accum = np.zeros((n, 64), dtype=np.float64)
+        self._add_region("mc_accum", accum.reshape(-1), DType.F64, False)
+        seeds = rng.integers(0, 1 << 30, size=64 * n, dtype=np.int32)
+        self._add_region("rng_state", seeds, DType.I32, False)
+
+    def refresh_outputs(self) -> None:
+        """Store computed prices inside the swaption structs."""
+        prices = self.run(None)
+        structs = self._data["swaptions"].reshape(-1, FIELDS)
+        structs[:, F_PRICE] = prices
+        structs[:, F_STDERR] = 0.01 * np.abs(prices)
+
+    # ----------------------------------------------------------------- kernel
+
+    @staticmethod
+    def _black_price(k, f, v, t, ten, notional):
+        """Black's payer-swaption formula, annuity-scaled."""
+        k = np.maximum(k, 1e-5)
+        f = np.maximum(f, 1e-5)
+        v = np.maximum(v, 1e-4)
+        t = np.maximum(t, 1e-4)
+        ten = np.maximum(ten, 0.25)
+        std = v * np.sqrt(t)
+        d1 = (np.log(f / k) + 0.5 * std**2) / std
+        d2 = d1 - std
+        annuity = ten * np.exp(-f * t)
+        return notional * annuity * (f * _norm_cdf(d1) - k * _norm_cdf(d2))
+
+    def run(self, approximator=None):
+        """Price all swaptions; returns the price vector."""
+        approximator = approximator or IdentityApproximator()
+        flat = approximator.filter(
+            self.region_data("swaptions"), self.region("swaptions")
+        )
+        structs = flat.reshape(-1, FIELDS).astype(np.float64)
+
+        price = self._black_price(
+            structs[:, F_STRIKE],
+            structs[:, F_FWD],
+            structs[:, F_VOL],
+            structs[:, F_MATURITY],
+            structs[:, F_TENOR],
+            structs[:, F_NOTIONAL],
+        )
+
+        # MC convexity correction from the (precise) HJM paths: a small
+        # deterministic adjustment computed over the path buffer.
+        paths = self.region_data("hjm_paths").reshape(128, 22, 12)
+        correction = 1.0 + 0.01 * np.tanh(paths.mean())
+        price = price * correction
+
+        # As in PARSEC, the simulated mean price (and its standard
+        # error) is stored back into the swaption struct itself, so the
+        # output rides through the LLC inside the same blocks.
+        out = structs.astype(np.float32)
+        out[:, F_PRICE] = price
+        out[:, F_STDERR] = 0.01 * np.abs(price)
+        out = approximator.filter(
+            out.reshape(-1), self.region("swaptions")
+        ).reshape(-1, FIELDS)
+        return out[:, F_PRICE].astype(np.float64)
+
+    def error(self, precise_output, approx_output) -> float:
+        """Portfolio-normalized price error: mean |dprice| / mean price.
+
+        The aggregate form keeps near-zero-priced swaptions from
+        dominating a per-contract relative metric.
+        """
+        p = np.asarray(precise_output, dtype=np.float64)
+        a = np.asarray(approx_output, dtype=np.float64)
+        scale = max(float(np.mean(np.abs(p))), 1e-12)
+        return float(np.mean(np.abs(a - p)) / scale)
+
+    # ------------------------------------------------------------------ trace
+
+    def _emit_trace(self, builder: TraceBuilder, value_ids: Dict[str, np.ndarray]) -> None:
+        for _ in range(self.TRACE_PASSES):
+            self._emit_parallel_scan(builder, value_ids, "swaptions", gap=20)
+            # The MC loop hammers the precise scratch buffers.
+            self._emit_parallel_scan(builder, value_ids, "hjm_paths", repeats=2, gap=8)
+            self._emit_parallel_scan(builder, value_ids, "mc_accum", write=True, gap=8)
+            self._emit_parallel_scan(builder, value_ids, "rng_state", gap=8)
+            self._emit_parallel_scan(builder, value_ids, "swaptions", write=True, gap=20)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Workload fixtures use tiny scales so the full suite stays fast; the
+benchmark harness exercises full-size datasets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import TraceBuilder
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_region():
+    """A 16 KB approximate float region starting at 0."""
+    return Region("data", 0, 16 * 1024, DType.F32, approx=True, vmin=0.0, vmax=100.0)
+
+
+@pytest.fixture
+def small_trace(rng, small_region):
+    """A small single-region trace: two sequential scans, 4 cores."""
+    regions = RegionMap([small_region])
+    builder = TraceBuilder("test", regions)
+    data = rng.uniform(0.0, 100.0, small_region.num_elements).astype(np.float32)
+    builder.register_block_values(small_region, data)
+    n_blocks = small_region.num_blocks()
+    indices = np.tile(np.arange(n_blocks, dtype=np.int64), 2)
+    cores = (np.arange(len(indices)) % 4).astype(np.int8)
+    builder.append_region_accesses(0, indices, cores, is_write=False, gap=8)
+    return builder.build()
+
+
+def make_blocks(rng, n, elems=16, lo=0.0, hi=100.0):
+    """Random float blocks helper."""
+    return rng.uniform(lo, hi, size=(n, elems))

@@ -1,0 +1,219 @@
+"""Tests for similarity and storage-savings analyses."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.similarity import (
+    blocks_similar,
+    greedy_similarity_clusters,
+    sweep_thresholds,
+    threshold_storage_savings,
+)
+from repro.analysis.storage import (
+    LLCSnapshot,
+    bdi_savings,
+    dedup_savings,
+    doppelganger_bdi_savings,
+    doppelganger_savings,
+    snapshot_from_workload,
+)
+from repro.core.maps import MapConfig
+from repro.trace.record import DType
+from repro.trace.region import Region
+from repro.workloads import get_workload
+
+
+def region(vmin=0.0, vmax=100.0, dtype=DType.F32):
+    return Region("r", 0, 1 << 16, dtype, approx=True, vmin=vmin, vmax=vmax)
+
+
+class TestBlocksSimilar:
+    def test_identical(self):
+        a = np.full(16, 5.0)
+        assert blocks_similar(a, a, 0.0, 100.0)
+
+    def test_paper_fig1_blocks(self):
+        # Fig. 1b: blocks 1 and 2 similar at T=1%, block 3 not.
+        b1 = np.array([92, 131, 183, 91, 132, 186], dtype=float)
+        b2 = np.array([90, 131, 185, 93, 133, 184], dtype=float)
+        b3 = np.array([35, 31, 29, 43, 38, 37], dtype=float)
+        assert blocks_similar(b1, b2, 0.01, 255.0)
+        assert not blocks_similar(b1, b3, 0.01, 255.0)
+        assert not blocks_similar(b1, b2, 0.0, 255.0)
+
+    def test_single_outlier_disqualifies(self):
+        # Sec. 2: one element pair beyond T disqualifies the block.
+        a = np.full(16, 5.0)
+        b = a.copy()
+        b[7] = 50.0
+        assert not blocks_similar(a, b, 0.01, 100.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            blocks_similar(np.zeros(4), np.zeros(5), 0.1, 1.0)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            blocks_similar(np.zeros(4), np.zeros(4), 0.1, 0.0)
+
+
+class TestGreedyClustering:
+    def test_all_identical_one_cluster(self):
+        blocks = np.tile(np.full(16, 5.0), (10, 1))
+        assignments = greedy_similarity_clusters(blocks, 0.01, 100.0)
+        assert (assignments == 0).all()
+
+    def test_distinct_blocks_distinct_clusters(self):
+        blocks = np.stack([np.full(16, v) for v in (0.0, 50.0, 100.0)])
+        assignments = greedy_similarity_clusters(blocks, 0.01, 100.0)
+        assert len(set(assignments)) == 3
+
+    def test_first_block_is_leader(self):
+        blocks = np.stack([np.full(16, 5.0), np.full(16, 5.5)])
+        assignments = greedy_similarity_clusters(blocks, 0.01, 100.0)
+        assert list(assignments) == [0, 0]
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            greedy_similarity_clusters(np.zeros(16), 0.1, 1.0)
+
+
+class TestThresholdSavings:
+    def test_zero_threshold_is_exact_dedup(self):
+        blocks = np.vstack([np.full(16, 1.0)] * 4)
+        assert threshold_storage_savings(blocks, 0.0, 100.0) == pytest.approx(0.75)
+
+    def test_monotone_in_threshold(self, rng):
+        blocks = rng.uniform(0, 100, (200, 16))
+        sweep = sweep_thresholds(blocks, 100.0)
+        values = list(sweep.values())
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_empty(self):
+        assert threshold_storage_savings(np.zeros((0, 16)), 0.1, 1.0) == 0.0
+
+    def test_full_threshold_merges_everything(self, rng):
+        blocks = rng.uniform(40, 60, (50, 16))
+        assert threshold_storage_savings(blocks, 1.0, 100.0) == pytest.approx(1 - 1 / 50)
+
+
+class TestSnapshot:
+    def make_snapshot(self, blocks, reg=None):
+        snap = LLCSnapshot()
+        reg = reg or region()
+        for b in blocks:
+            snap.add(0, reg, b)
+        return snap
+
+    def test_rejects_precise_region(self):
+        snap = LLCSnapshot()
+        precise = Region("p", 0, 64, DType.I32, approx=False)
+        with pytest.raises(ValueError):
+            snap.add(0, precise, np.zeros(16))
+
+    def test_groups_and_len(self, rng):
+        snap = self.make_snapshot(rng.uniform(0, 100, (10, 16)))
+        assert len(snap) == 10
+        groups = list(snap.groups())
+        assert len(groups) == 1
+        assert groups[0][1].shape == (10, 16)
+
+    def test_ragged_tails_grouped_by_length(self, rng):
+        snap = LLCSnapshot()
+        reg = region()
+        snap.add(0, reg, rng.uniform(0, 100, 16))
+        snap.add(0, reg, rng.uniform(0, 100, 7))
+        shapes = sorted(m.shape for _, m in snap.groups())
+        assert shapes == [(1, 7), (1, 16)]
+
+    def test_snapshot_from_workload(self):
+        w = get_workload("kmeans", seed=1, scale=0.05)
+        snap = snapshot_from_workload(w)
+        assert len(snap) > 0
+
+
+class TestSavingsMetrics:
+    def test_doppelganger_savings_identical_blocks(self):
+        snap = LLCSnapshot()
+        reg = region()
+        for _ in range(8):
+            snap.add(0, reg, np.full(16, 42.0))
+        assert doppelganger_savings(snap, MapConfig(14)) == pytest.approx(1 - 1 / 8)
+
+    def test_doppelganger_savings_grows_with_smaller_map(self, rng):
+        snap = LLCSnapshot()
+        reg = region()
+        for b in rng.uniform(0, 100, (500, 16)):
+            snap.add(0, reg, b)
+        s12 = doppelganger_savings(snap, MapConfig(12))
+        s14 = doppelganger_savings(snap, MapConfig(14))
+        assert s12 >= s14
+
+    def test_dedup_requires_exact(self, rng):
+        snap = LLCSnapshot()
+        reg = region()
+        base = rng.uniform(0, 100, 16)
+        snap.add(0, reg, base)
+        snap.add(0, reg, base + 1e-9)
+        assert dedup_savings(snap) == 0.0
+
+    def test_bdi_on_integer_region(self, rng):
+        # canneal-like i32 grid coordinates with bounded in-block range:
+        # the case the paper's Fig. 8 highlights as BdI-friendly.
+        snap = LLCSnapshot()
+        reg = region(vmax=4096.0, dtype=DType.I32)
+        for _ in range(10):
+            base = float(rng.integers(0, 3800))
+            snap.add(0, reg, base + rng.integers(0, 64, 16))
+        assert bdi_savings(snap) > 0.3
+
+    def test_bdi_weak_on_noisy_bytes(self, rng):
+        # Byte-packed segments defeat delta encoding on noisy u8 data.
+        snap = LLCSnapshot()
+        reg = region(vmax=255.0, dtype=DType.U8)
+        for _ in range(10):
+            base = float(rng.integers(0, 200))
+            snap.add(0, reg, base + rng.integers(0, 20, 64))
+        assert bdi_savings(snap) < 0.3
+
+    def test_combined_at_least_dopp(self, rng):
+        snap = LLCSnapshot()
+        reg = region(vmax=255.0, dtype=DType.U8)
+        for _ in range(50):
+            base = float(rng.integers(0, 200))
+            snap.add(0, reg, base + rng.integers(0, 10, 64))
+        dopp = doppelganger_savings(snap, MapConfig(14))
+        both = doppelganger_bdi_savings(snap, MapConfig(14))
+        assert both >= dopp - 1e-9
+
+    def test_empty_snapshot_zero(self):
+        snap = LLCSnapshot()
+        assert doppelganger_savings(snap) == 0.0
+        assert dedup_savings(snap) == 0.0
+        assert doppelganger_bdi_savings(snap) == 0.0
+
+
+class TestWholeLLCSavings:
+    def test_composition_weights(self):
+        from repro.analysis.storage import whole_llc_savings
+
+        w = get_workload("kmeans", seed=1, scale=0.05)
+        result = whole_llc_savings(w)
+        assert 0.0 <= result["approx_savings"] <= 1.0
+        assert 0.0 <= result["precise_savings"] <= 1.0
+        total = result["approx_bytes"] + result["precise_bytes"]
+        expected = (
+            result["approx_savings"] * result["approx_bytes"]
+            + result["precise_savings"] * result["precise_bytes"]
+        ) / total
+        assert result["combined_savings"] == pytest.approx(expected)
+
+    def test_mostly_approx_workload_tracks_dopp_side(self):
+        from repro.analysis.storage import whole_llc_savings
+
+        w = get_workload("inversek2j", seed=1, scale=0.05)
+        result = whole_llc_savings(w)
+        assert result["approx_bytes"] > result["precise_bytes"]
+        assert result["combined_savings"] == pytest.approx(
+            result["approx_savings"], abs=0.05
+        )

@@ -1,0 +1,73 @@
+"""Additional CLI and stats-structure tests."""
+
+import pytest
+
+from repro.core.doppelganger import DoppelgangerStats
+
+
+class TestDoppelgangerStats:
+    def test_hit_rate_zero_division(self):
+        stats = DoppelgangerStats()
+        assert stats.hit_rate == 0.0
+
+    def test_avg_tags_zero_division(self):
+        stats = DoppelgangerStats()
+        assert stats.avg_tags_per_evicted_entry == 0.0
+
+    def test_dirty_fraction_zero_division(self):
+        stats = DoppelgangerStats()
+        assert stats.dirty_eviction_fraction == 0.0
+
+    def test_derived_values(self):
+        stats = DoppelgangerStats(
+            accesses=10, hits=4,
+            data_evictions=2, tags_at_data_eviction=9,
+            dirty_tags_evicted=1, clean_tags_evicted=3,
+        )
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert stats.avg_tags_per_evicted_entry == pytest.approx(4.5)
+        assert stats.dirty_eviction_fraction == pytest.approx(0.25)
+
+
+class TestRunnerEnv:
+    def test_env_scale_and_seed(self, monkeypatch):
+        from repro.harness.runner import env_scale, env_seed
+
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_SEED", "42")
+        assert env_scale() == 0.5
+        assert env_seed() == 42
+
+    def test_defaults(self, monkeypatch):
+        from repro.harness.runner import env_scale, env_seed
+
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_SEED", raising=False)
+        assert env_scale() == 1.0
+        assert env_seed() == 7
+
+    def test_snap_pow2(self):
+        from repro.harness.runner import snap_pow2
+
+        assert snap_pow2(1.0) == 1.0
+        assert snap_pow2(2.0) == 1.0  # never scale structures up
+        assert snap_pow2(0.5) == 0.5
+        assert snap_pow2(0.3) == 0.25
+        assert snap_pow2(0.01) == pytest.approx(1 / 16)
+
+
+class TestSizeScaling:
+    def test_scaled_llc_geometry(self):
+        from repro.harness.runner import dopp_spec
+
+        llc = dopp_spec(14, 0.25).build_llc(None, size_factor=0.25)
+        assert llc.dopp.tags.num_entries == 4096
+        assert llc.dopp.data.num_entries == 1024
+        assert llc.precise.size_bytes == 256 * 1024
+
+    def test_floor_respected(self):
+        from repro.harness.runner import dopp_spec
+
+        llc = dopp_spec(14, 0.25).build_llc(None, size_factor=1 / 64)
+        assert llc.dopp.tags.num_entries >= 1024
+        assert llc.precise.size_bytes >= 64 * 1024

@@ -1,0 +1,116 @@
+"""Tests for BΔI compression and exact deduplication."""
+
+import numpy as np
+import pytest
+
+from repro.compression.bdi import BDICompressor, BLOCK_BYTES, bdi_compressed_size
+from repro.compression.dedup import DedupCache, dedup_storage_savings
+
+
+class TestBDISpecialCases:
+    def test_zero_block(self):
+        enc = bdi_compressed_size(np.zeros(16, dtype=np.int32))
+        assert enc.name == "zeros"
+        assert enc.compressed_bytes == 1
+
+    def test_repeated_value(self):
+        block = np.full(8, 0x1234567890, dtype=np.int64)
+        enc = bdi_compressed_size(block)
+        assert enc.name == "repeat"
+        assert enc.compressed_bytes == 8
+
+    def test_repeat_requires_8_byte_period(self):
+        block = np.full(16, 7, dtype=np.int32)  # 4-byte period = 8-byte period too
+        enc = bdi_compressed_size(block)
+        assert enc.name == "repeat"
+
+
+class TestBDIEncodings:
+    def test_small_deltas_compress(self):
+        base = 1_000_000
+        block = (base + np.arange(16)).astype(np.int32)
+        enc = bdi_compressed_size(block)
+        assert enc.compressed_bytes < BLOCK_BYTES
+        assert "delta1" in enc.name
+
+    def test_medium_deltas_use_wider_field(self):
+        base = 1_000_000
+        block = (base + np.arange(16) * 1000).astype(np.int32)
+        enc = bdi_compressed_size(block)
+        assert enc.compressed_bytes < BLOCK_BYTES
+
+    def test_random_floats_do_not_compress(self, rng):
+        block = rng.uniform(-1e9, 1e9, 8)  # f64, wild mantissas
+        enc = bdi_compressed_size(block)
+        assert enc.name == "uncompressed"
+        assert enc.compressed_bytes == BLOCK_BYTES
+
+    def test_mixed_immediates_and_base(self):
+        # Half small values (zero base), half clustered (explicit base).
+        block = np.array([3, 5, 1, 2, 900000, 900004, 900002, 900001] * 2, dtype=np.int32)
+        enc = bdi_compressed_size(block)
+        assert enc.compressed_bytes < BLOCK_BYTES
+
+    def test_saved_bytes(self):
+        enc = bdi_compressed_size(np.zeros(16, dtype=np.int32))
+        assert enc.saved_bytes == BLOCK_BYTES - 1
+
+    def test_grid_coordinates_compress(self, rng):
+        # canneal-like: i32 coordinates within a 256-wide macro window.
+        base = rng.integers(0, 4096 - 256)
+        block = (base + rng.integers(0, 256, 16)).astype(np.int32)
+        enc = bdi_compressed_size(block)
+        assert enc.compressed_bytes < BLOCK_BYTES
+
+
+class TestBDICompressor:
+    def test_storage_savings_zero_blocks(self):
+        comp = BDICompressor()
+        assert comp.storage_savings([]) == 0.0
+
+    def test_storage_savings_all_zero(self):
+        comp = BDICompressor()
+        blocks = [np.zeros(16, dtype=np.int32)] * 4
+        assert comp.storage_savings(blocks) == pytest.approx(1 - 1 / 64)
+
+    def test_histogram_populated(self):
+        comp = BDICompressor()
+        comp.compress_block(np.zeros(16, dtype=np.int32))
+        assert comp.encoding_counts["zeros"] == 1
+
+
+class TestDedup:
+    def test_no_duplicates_no_savings(self, rng):
+        blocks = [rng.uniform(0, 1, 16) for _ in range(10)]
+        assert dedup_storage_savings(blocks) == 0.0
+
+    def test_all_identical(self):
+        block = np.full(16, 3.0)
+        assert dedup_storage_savings([block] * 4) == pytest.approx(0.75)
+
+    def test_float_nearly_equal_not_deduped(self):
+        a = np.full(16, 3.0)
+        b = a + 1e-7
+        assert dedup_storage_savings([a, b]) == 0.0
+
+    def test_empty(self):
+        assert dedup_storage_savings([]) == 0.0
+
+
+class TestDedupCache:
+    def test_hit_on_identical(self):
+        cache = DedupCache(64, 4)
+        block = np.full(16, 1.0)
+        assert not cache.access(block)
+        assert cache.access(block.copy())
+        assert cache.stats.dedup_rate == 0.5
+
+    def test_eviction_bounded(self, rng):
+        cache = DedupCache(16, 4)
+        for i in range(200):
+            cache.access(rng.uniform(0, 1, 16))
+        assert cache.occupancy() <= 16
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            DedupCache(10, 4)

@@ -1,0 +1,166 @@
+"""Unit tests for the decoupled tag array and MTag/data array."""
+
+import pytest
+
+from repro.core.data_array import MTagDataArray
+from repro.core.tag_array import NULL_PTR, TagArray
+
+
+class TestTagArrayGeometry:
+    def test_entry_count(self):
+        tags = TagArray(1024, 16)
+        assert tags.num_sets == 64
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            TagArray(1000, 16)
+
+
+class TestTagArrayOps:
+    def test_probe_empty(self):
+        tags = TagArray(64, 4)
+        assert tags.probe(0x1000) is None
+
+    def test_allocate_then_probe(self):
+        tags = TagArray(64, 4)
+        alloc = tags.allocate(0x1000)
+        assert alloc.victim is None
+        assert tags.probe(0x1000) is alloc.entry
+
+    def test_allocate_resident_raises(self):
+        tags = TagArray(64, 4)
+        tags.allocate(0x1000)
+        with pytest.raises(ValueError):
+            tags.allocate(0x1000)
+
+    def test_entry_id_dense(self):
+        tags = TagArray(64, 4)
+        entry = tags.allocate(0x1000).entry
+        assert tags.entry(entry.entry_id) is entry
+        assert tags.entry(NULL_PTR) is None
+
+    def test_eviction_when_set_full(self):
+        tags = TagArray(16, 4)  # 4 sets
+        stride = tags.num_sets * tags.block_size
+        for i in range(4):
+            tags.allocate(i * stride)
+        alloc = tags.allocate(4 * stride)
+        assert alloc.victim is not None
+        assert alloc.victim.addr == 0
+
+    def test_touch_changes_victim(self):
+        tags = TagArray(16, 4)
+        stride = tags.num_sets * tags.block_size
+        entries = [tags.allocate(i * stride).entry for i in range(4)]
+        tags.touch(entries[0])
+        alloc = tags.allocate(4 * stride)
+        assert alloc.victim.addr == stride
+
+    def test_invalidate_frees_way(self):
+        tags = TagArray(16, 4)
+        stride = tags.num_sets * tags.block_size
+        entries = [tags.allocate(i * stride).entry for i in range(4)]
+        tags.invalidate(entries[2])
+        assert tags.probe(2 * stride) is None
+        alloc = tags.allocate(4 * stride)
+        assert alloc.victim is None
+
+    def test_invalidate_nonresident_raises(self):
+        tags = TagArray(16, 4)
+        entry = tags.allocate(0).entry
+        tags.invalidate(entry)
+        with pytest.raises(ValueError):
+            tags.invalidate(entry)
+
+    def test_occupied_counter(self):
+        tags = TagArray(64, 4)
+        tags.allocate(0)
+        tags.allocate(64)
+        assert tags.occupied == 2
+
+
+class TestTagLinkedLists:
+    def test_list_length_and_iter(self):
+        tags = TagArray(64, 4)
+        a = tags.allocate(0).entry
+        b = tags.allocate(64).entry
+        a.next = b.entry_id
+        b.prev = a.entry_id
+        assert tags.list_length(a.entry_id) == 2
+        assert [e.addr for e in tags.iter_list(a.entry_id)] == [0, 64]
+
+    def test_null_list_empty(self):
+        tags = TagArray(64, 4)
+        assert tags.list_length(NULL_PTR) == 0
+
+
+class TestDataArray:
+    def test_probe_empty(self):
+        data = MTagDataArray(64, 4)
+        assert data.probe(12345) is None
+
+    def test_allocate_then_probe(self):
+        data = MTagDataArray(64, 4)
+        alloc = data.allocate(12345)
+        assert data.probe(12345) is alloc.entry
+
+    def test_precise_and_approx_distinct(self):
+        data = MTagDataArray(64, 4)
+        data.allocate(7, precise=False)
+        assert data.probe(7, precise=True) is None
+        data.allocate(7, precise=True)
+        assert data.probe(7, precise=True) is not None
+
+    def test_allocate_resident_raises(self):
+        data = MTagDataArray(64, 4)
+        data.allocate(7)
+        with pytest.raises(ValueError):
+            data.allocate(7)
+
+    def test_eviction_when_set_full(self):
+        data = MTagDataArray(16, 4)  # 4 sets
+        maps = []
+        m = 0
+        while len(maps) < 5:  # five maps hitting the same set
+            if data.set_index(m) == data.set_index(0) and m not in maps:
+                maps.append(m)
+            m += 1
+        for mv in maps[:4]:
+            data.allocate(mv)
+        alloc = data.allocate(maps[4])
+        assert alloc.victim is not None
+        assert alloc.victim.map_value == maps[0]
+
+    def test_free_releases_entry(self):
+        data = MTagDataArray(64, 4)
+        entry = data.allocate(7).entry
+        data.free(entry)
+        assert data.probe(7) is None
+        assert data.occupied == 0
+
+    def test_free_nonresident_raises(self):
+        data = MTagDataArray(64, 4)
+        entry = data.allocate(7).entry
+        data.free(entry)
+        with pytest.raises(ValueError):
+            data.free(entry)
+
+    def test_touch_protects_from_eviction(self):
+        data = MTagDataArray(16, 4)
+        maps = []
+        m = 0
+        while len(maps) < 5:
+            if data.set_index(m) == data.set_index(0) and m not in maps:
+                maps.append(m)
+            m += 1
+        entries = [data.allocate(mv).entry for mv in maps[:4]]
+        data.touch(entries[0])
+        alloc = data.allocate(maps[4])
+        assert alloc.victim is entries[1]
+
+    def test_non_pow2_sets_supported(self):
+        # The 3/4 uniDoppelgänger data array has 1536 sets.
+        data = MTagDataArray(24 * 64, 16)
+        assert data.num_sets == 96
+        data.allocate(12345)
+        assert data.probe(12345) is not None

@@ -1,0 +1,196 @@
+"""Tests for structures, the CACTI-like model and energy accounting."""
+
+import pytest
+
+from repro.energy.accounting import MAP_GENERATION_PJ, EnergyModel
+from repro.energy.cacti import CactiModel
+from repro.energy.structures import (
+    TABLE3_PUBLISHED,
+    baseline_llc_structure,
+    doppelganger_structures,
+    l1_structure,
+    l2_structure,
+    unidoppelganger_structures,
+)
+from repro.hierarchy.llc import BaselineLLC, SplitDoppelgangerLLC, UnifiedDoppelgangerLLC
+
+
+def all_structures():
+    structs = {"baseline_llc": baseline_llc_structure()}
+    structs.update(doppelganger_structures())
+    structs.update(unidoppelganger_structures())
+    return structs
+
+
+class TestTable3Sizes:
+    """The paper's Table 3 sizes must reproduce bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "name,expected_kb",
+        [
+            ("baseline_llc", 2156.0),
+            ("precise_1mb", 1080.0),
+            ("dopp_tag", 154.0),
+            ("dopp_data", 275.0),
+            ("uni_tag", 316.0),
+            ("uni_data", 1100.0),
+        ],
+    )
+    def test_total_kb(self, name, expected_kb):
+        assert all_structures()[name].total_kb == pytest.approx(expected_kb, rel=0.001)
+
+    @pytest.mark.parametrize(
+        "name,bits",
+        [
+            ("baseline_llc", 27),
+            ("precise_1mb", 28),
+            ("dopp_tag", 77),
+            ("dopp_data", 38),
+            ("uni_tag", 79),
+            ("uni_data", 38),
+        ],
+    )
+    def test_tag_entry_bits(self, name, bits):
+        assert all_structures()[name].tag_entry_bits == bits
+
+    def test_dopp_tag_field_breakdown(self):
+        fields = all_structures()["dopp_tag"].fields
+        assert fields["tag"] == 16
+        assert fields["tag_pointers"] == 28  # 2 x 14
+        assert fields["map"] == 21
+
+    def test_overall_reduction(self):
+        # Sec. 5.6: total storage reduced by ~1.43x.
+        structs = all_structures()
+        dopp_total = sum(
+            structs[n].total_kb for n in ("precise_1mb", "dopp_tag", "dopp_data")
+        )
+        assert 2156.0 / dopp_total == pytest.approx(1.43, abs=0.02)
+
+
+class TestCactiModel:
+    def test_published_points_fit(self):
+        """Every Table 3 CACTI output is matched within tolerance."""
+        model = CactiModel()
+        structs = all_structures()
+        for name, (kb, mm2, t_ns, d_ns, t_pj, d_pj) in TABLE3_PUBLISHED.items():
+            s = structs[name]
+            assert model.area_mm2(s) == pytest.approx(mm2, rel=0.30)
+            assert model.tag_energy_pj(s) == pytest.approx(t_pj, rel=0.30)
+            assert model.tag_latency_ns(s) == pytest.approx(t_ns, rel=0.35)
+            if d_pj is not None:
+                assert model.data_energy_pj(s) == pytest.approx(d_pj, rel=0.15)
+                assert model.data_latency_ns(s) == pytest.approx(d_ns, rel=0.15)
+
+    def test_monotone_in_size(self):
+        model = CactiModel()
+        small = doppelganger_structures(data_fraction=0.125)["dopp_data"]
+        big = doppelganger_structures(data_fraction=0.5)["dopp_data"]
+        assert model.area_mm2(small) < model.area_mm2(big)
+        assert model.data_energy_pj(small) < model.data_energy_pj(big)
+
+    def test_tag_only_structure_zero_data(self):
+        model = CactiModel()
+        tag = doppelganger_structures()["dopp_tag"]
+        assert model.data_energy_pj(tag) == 0.0
+        assert model.data_latency_ns(tag) == 0.0
+
+    def test_doppelganger_data_access_faster_than_baseline(self):
+        # Sec. 5.6: MTag + data access 1.31x faster than baseline data.
+        model = CactiModel()
+        structs = all_structures()
+        dopp = model.tag_latency_ns(structs["dopp_data"]) + model.data_latency_ns(
+            structs["dopp_data"]
+        )
+        base = model.data_latency_ns(structs["baseline_llc"])
+        assert dopp < base
+
+    def test_leakage_increases_with_area(self):
+        model = CactiModel()
+        structs = all_structures()
+        assert model.leakage_mw(structs["baseline_llc"]) > model.leakage_mw(
+            structs["dopp_data"]
+        )
+
+    def test_fig13_area_reductions(self):
+        """Fig. 13's shape: reductions grow as the data array shrinks."""
+        model = CactiModel()
+        base = model.area_mm2(baseline_llc_structure())
+        reductions = []
+        for frac in (0.5, 0.25, 0.125):
+            area = sum(
+                model.area_mm2(s)
+                for s in doppelganger_structures(data_fraction=frac).values()
+            )
+            reductions.append(base / area)
+        assert reductions[0] < reductions[1] < reductions[2]
+        # Paper: 1.36x, 1.55x, 1.70x.
+        assert reductions[1] == pytest.approx(1.55, rel=0.15)
+
+    def test_uni_quarter_beats_split_quarter(self):
+        """uniDoppelgänger 1/4 reaches far higher area reduction (3.15x)."""
+        model = CactiModel()
+        base = model.area_mm2(baseline_llc_structure())
+        uni = sum(
+            model.area_mm2(s)
+            for s in unidoppelganger_structures(data_fraction=0.25).values()
+        )
+        split = sum(
+            model.area_mm2(s)
+            for s in doppelganger_structures(data_fraction=0.25).values()
+        )
+        assert base / uni > base / split
+        assert base / uni == pytest.approx(3.15, rel=0.25)
+
+
+class TestEnergyAccounting:
+    def test_map_generation_energy_constant(self):
+        assert MAP_GENERATION_PJ == pytest.approx(168.0)
+
+    def test_baseline_events_priced(self):
+        model = EnergyModel()
+        llc = BaselineLLC()
+        llc.cache.access(0)
+        llc.cache.access(0)
+        report = model.dynamic_energy(llc, cycles=1000)
+        assert report.dynamic_pj > 0
+        assert report.leakage_mw > 0
+        assert report.cycles == 1000
+        assert report.leakage_energy_pj > 0
+
+    def test_structures_for_each_llc_kind(self):
+        model = EnergyModel()
+        assert set(model.structures_for(BaselineLLC())) == {"baseline_llc"}
+        assert set(model.structures_for(SplitDoppelgangerLLC())) == {
+            "precise_1mb",
+            "dopp_tag",
+            "dopp_data",
+        }
+        assert set(model.structures_for(UnifiedDoppelgangerLLC())) == {
+            "uni_tag",
+            "uni_data",
+        }
+
+    def test_map_generation_charged(self):
+        import numpy as np
+
+        from repro.trace.record import DType
+        from repro.trace.region import Region, RegionMap
+
+        regions = RegionMap(
+            [Region("r", 0, 1 << 20, DType.F32, approx=True, vmin=0, vmax=100)]
+        )
+        model = EnergyModel()
+        llc = SplitDoppelgangerLLC(regions=regions)
+        llc.fill(0, 0, True, 0, values=np.full(16, 5.0))
+        report = model.dynamic_energy(llc)
+        assert report.breakdown[("map_generation", "op")] == pytest.approx(168.0)
+
+    def test_hierarchy_area_includes_private(self):
+        model = EnergyModel()
+        llc = BaselineLLC()
+        assert model.hierarchy_area_mm2(llc) > model.llc_area_mm2(llc)
+
+    def test_l1_l2_structures(self):
+        assert l1_structure().entries == 256
+        assert l2_structure().entries == 2048

@@ -1,0 +1,29 @@
+"""The example scripts must at least parse and import cleanly."""
+
+import os
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SCRIPTS = sorted(
+    f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")
+)
+
+
+def test_six_examples_present():
+    assert len(SCRIPTS) >= 6
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_compiles(script):
+    py_compile.compile(os.path.join(EXAMPLES_DIR, script), doraise=True)
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_has_main_guard_and_doc(script):
+    with open(os.path.join(EXAMPLES_DIR, script)) as fh:
+        source = fh.read()
+    assert '__name__ == "__main__"' in source
+    assert source.lstrip().startswith(("#!/usr/bin/env python", '"""'))
+    assert "Run:" in source  # usage line in the docstring

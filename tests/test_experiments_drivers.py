@@ -1,0 +1,77 @@
+"""Deeper driver tests: sampling, companion stats, bar outputs."""
+
+import pytest
+
+from repro.harness import ExperimentContext, experiments
+from repro.harness.runner import dopp_spec
+
+
+@pytest.fixture(scope="module")
+def ctx3():
+    return ExperimentContext(
+        seed=5, scale=0.05, workloads=["jpeg", "canneal", "blackscholes"]
+    )
+
+
+class TestFig02Sampling:
+    def test_sampling_cap_respected(self, ctx3):
+        table = experiments.fig02_threshold_similarity(ctx3, max_blocks_per_region=64)
+        assert len(table.rows) == 3
+        for row in table.rows:
+            for cell in row[1:]:
+                assert 0.0 <= cell <= 1.0
+
+    def test_sampling_preserves_monotonicity(self, ctx3):
+        table = experiments.fig02_threshold_similarity(ctx3, max_blocks_per_region=128)
+        for row in table.rows:
+            vals = row[1:]
+            assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+
+
+class TestFig10Companion:
+    def test_stats_table_columns(self, ctx3):
+        tables = experiments.fig10_data_array(ctx3)
+        stats = tables["stats"]
+        assert stats.headers == [
+            "workload",
+            "tags/entry (resident)",
+            "tags/evicted entry",
+            "dirty evictions %",
+            "hit rate %",
+        ]
+        for row in stats.rows:
+            assert row[1] >= 0.0
+            assert 0.0 <= row[3] <= 100.0
+            assert 0.0 <= row[4] <= 100.0
+
+    def test_resident_sharing_positive_for_redundant_workloads(self, ctx3):
+        tables = experiments.fig10_data_array(ctx3)
+        stats = {row[0]: row for row in tables["stats"].rows}
+        # blackscholes' exact redundancy must show up as resident sharing.
+        assert stats["blackscholes"][1] > 1.0
+
+
+class TestDriverConsistency:
+    def test_error_tables_agree_between_figures(self, ctx3):
+        """Fig. 9 and Fig. 10 share the (14-bit, 1/4) configuration."""
+        fig9 = experiments.fig09_map_space(ctx3)["error"].row_map()
+        fig10 = experiments.fig10_data_array(ctx3)["error"].row_map()
+        for name in ("jpeg", "canneal", "blackscholes"):
+            assert fig9[name][3] == pytest.approx(fig10[name][2])
+
+    def test_run_cache_shared_across_drivers(self, ctx3):
+        """Fig. 11's energy reuses Fig. 10's simulations (same spec)."""
+        before = len(ctx3._runs)
+        experiments.fig11_energy_reduction(ctx3)
+        experiments.fig12_offchip_traffic(ctx3)
+        after = len(ctx3._runs)
+        # Only the baseline + three dopp configs exist per workload;
+        # no duplicate simulations were added by the second driver.
+        assert after == before
+
+    def test_headline_uses_base_config(self, ctx3):
+        table = experiments.summary_headline(ctx3)
+        spec = dopp_spec(14, 0.25)
+        for name in ctx3.names:
+            assert (name, spec) in ctx3._runs
+        assert len(table.rows) == 4

@@ -1,0 +1,42 @@
+"""Tests for the bar-chart rendering and table utilities."""
+
+from repro.harness.reporting import Table
+
+
+class TestRenderBars:
+    def make(self):
+        table = Table("Demo figure", ["workload", "12-bit", "14-bit"])
+        table.add_row("alpha", 1.0, 0.5)
+        table.add_row("beta", 0.25, None)
+        table.add_note("reference note")
+        return table
+
+    def test_bar_widths_proportional(self):
+        text = self.make().render_bars(width=20)
+        lines = text.splitlines()
+        full = next(l for l in lines if "1.000" in l)
+        half = next(l for l in lines if "0.500" in l)
+        assert full.count("#") == 20
+        assert half.count("#") == 10
+
+    def test_none_cells_skipped(self):
+        text = self.make().render_bars(width=20)
+        # beta has only one bar (the None column is skipped).
+        beta_idx = text.splitlines().index("beta")
+        remaining = text.splitlines()[beta_idx + 1 :]
+        bars = [l for l in remaining if "|" in l]
+        assert len(bars) == 1
+
+    def test_notes_preserved(self):
+        assert "reference note" in self.make().render_bars()
+
+    def test_custom_max(self):
+        table = Table("t", ["w", "v"])
+        table.add_row("x", 1.0)
+        text = table.render_bars(width=10, max_value=2.0)
+        assert text.splitlines()[-1].count("#") == 5
+
+    def test_no_numeric_columns_falls_back(self):
+        table = Table("t", ["w", "label"])
+        table.add_row("x", "hello")
+        assert "hello" in table.render_bars()

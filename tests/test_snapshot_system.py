@@ -1,0 +1,65 @@
+"""Tests for snapshotting a simulated LLC's contents."""
+
+import numpy as np
+
+from repro.analysis.storage import snapshot_from_system
+from repro.core.maps import MapConfig
+from repro.analysis.storage import doppelganger_savings
+from repro.hierarchy.llc import BaselineLLC
+from repro.hierarchy.system import System
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import TraceBuilder
+
+
+def _build(rng, size_kb=256):
+    region = Region("r", 0, size_kb * 1024, DType.F32, approx=True, vmin=0, vmax=100)
+    regions = RegionMap([region])
+    builder = TraceBuilder("t", regions)
+    data = rng.uniform(0, 100, region.num_elements).astype(np.float32)
+    builder.register_block_values(region, data)
+    idx = np.arange(region.num_blocks())
+    cores = (idx % 4).astype(np.int8)
+    builder.append_region_accesses(0, idx, cores, gap=8)
+    return builder.build()
+
+
+def test_snapshot_matches_llc_contents(rng):
+    trace = _build(rng)
+    llc = BaselineLLC()
+    system = System(llc)
+    system.run(trace)
+    snapshot = snapshot_from_system(system, llc, trace)
+    # The 256 KB footprint fits the 2 MB LLC entirely.
+    assert len(snapshot) == trace.unique_blocks()
+
+
+def test_snapshot_usable_for_savings(rng):
+    trace = _build(rng)
+    llc = BaselineLLC()
+    system = System(llc)
+    system.run(trace)
+    snapshot = snapshot_from_system(system, llc, trace)
+    savings = doppelganger_savings(snapshot, MapConfig(12))
+    assert 0.0 <= savings < 1.0
+
+
+def test_snapshot_excludes_precise(rng):
+    region_a = Region("a", 0, 64 * 1024, DType.F32, approx=True, vmin=0, vmax=100)
+    region_p = Region("p", 1 << 20, 64 * 1024, DType.I32, approx=False)
+    regions = RegionMap([region_a, region_p])
+    builder = TraceBuilder("t", regions)
+    data = rng.uniform(0, 100, region_a.num_elements).astype(np.float32)
+    builder.register_block_values(region_a, data)
+    pdata = rng.integers(0, 100, region_p.num_elements).astype(np.int32)
+    builder.register_block_values(region_p, pdata)
+    idx = np.arange(region_a.num_blocks())
+    builder.append_region_accesses(0, idx, np.zeros(len(idx), np.int8), gap=4)
+    builder.append_region_accesses(1, idx, np.zeros(len(idx), np.int8), gap=4)
+    trace = builder.build()
+
+    llc = BaselineLLC()
+    system = System(llc)
+    system.run(trace)
+    snapshot = snapshot_from_system(system, llc, trace)
+    assert len(snapshot) == region_a.num_blocks()

@@ -1,0 +1,54 @@
+"""Tests for the CPI stall-attribution instrumentation."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.llc import BaselineLLC
+from repro.hierarchy.system import System
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+from repro.trace.trace import TraceBuilder
+
+
+def make_trace(rng, size_kb, repeats=1, gap=8):
+    region = Region("r", 0, size_kb * 1024, DType.F32, approx=True, vmin=0, vmax=100)
+    regions = RegionMap([region])
+    builder = TraceBuilder("t", regions)
+    data = rng.uniform(0, 100, region.num_elements).astype(np.float32)
+    builder.register_block_values(region, data)
+    idx = np.tile(np.arange(region.num_blocks()), repeats)
+    cores = (np.arange(len(idx)) % 4).astype(np.int8)
+    builder.append_region_accesses(0, idx, cores, gap=gap)
+    return builder.build()
+
+
+class TestBreakdown:
+    def test_categories_present(self, rng):
+        result = System(BaselineLLC()).run(make_trace(rng, 64))
+        assert set(result.stall_breakdown) == {
+            "compute", "l1", "l2", "llc", "memory", "coherence", "writeback",
+        }
+
+    def test_cold_run_is_memory_bound(self, rng):
+        result = System(BaselineLLC()).run(make_trace(rng, 1024, repeats=1, gap=4))
+        bd = result.stall_breakdown
+        assert bd["memory"] == max(bd.values())
+
+    def test_compute_bound_with_huge_gaps(self, rng):
+        result = System(BaselineLLC()).run(make_trace(rng, 64, repeats=2, gap=2000))
+        bd = result.stall_breakdown
+        assert bd["compute"] == max(bd.values())
+
+    def test_compute_matches_instruction_count(self, rng):
+        trace = make_trace(rng, 64, gap=8)
+        result = System(BaselineLLC()).run(trace)
+        expected = sum(int(g) for g in trace.gaps) / 4.0
+        assert result.stall_breakdown["compute"] == pytest.approx(expected)
+
+    def test_memory_component_zero_when_everything_fits_l1(self, rng):
+        trace = make_trace(rng, 8, repeats=4)  # 8 KB fits the 16 KB L1s
+        result = System(BaselineLLC()).run(trace)
+        bd = result.stall_breakdown
+        # After the cold pass, no more memory stalls accumulate; the
+        # cold pass itself is bounded by the footprint.
+        assert bd["memory"] < result.cycles * 4

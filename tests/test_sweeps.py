@@ -1,0 +1,92 @@
+"""Tests for multi-seed sweeps and table aggregation."""
+
+import pytest
+
+from repro.harness.reporting import Table
+from repro.harness.sweeps import aggregate_tables, seed_sweep, stability_report
+from repro.harness import experiments
+
+
+def make_table(values, title="t"):
+    table = Table(title, ["name", "x", "y"])
+    for name, x, y in values:
+        table.add_row(name, x, y)
+    return table
+
+
+class TestAggregate:
+    def test_mean_and_std(self):
+        a = make_table([("w", 1.0, 10.0)])
+        b = make_table([("w", 3.0, 10.0)])
+        mean, std = aggregate_tables([a, b])
+        assert mean.rows[0][1] == pytest.approx(2.0)
+        assert std.rows[0][1] == pytest.approx(1.0)
+        assert std.rows[0][2] == pytest.approx(0.0)
+
+    def test_non_numeric_passthrough(self):
+        a = make_table([("w", None, 1.0)])
+        b = make_table([("w", None, 3.0)])
+        mean, _ = aggregate_tables([a, b])
+        assert mean.rows[0][1] is None
+        assert mean.rows[0][2] == pytest.approx(2.0)
+
+    def test_mismatched_headers_rejected(self):
+        a = make_table([("w", 1, 2)])
+        b = Table("t", ["name", "z", "y"])
+        b.add_row("w", 1, 2)
+        with pytest.raises(ValueError, match="headers"):
+            aggregate_tables([a, b])
+
+    def test_mismatched_labels_rejected(self):
+        a = make_table([("w", 1, 2)])
+        b = make_table([("v", 1, 2)])
+        with pytest.raises(ValueError, match="labels"):
+            aggregate_tables([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_tables([])
+
+    def test_note_records_seed_count(self):
+        a = make_table([("w", 1, 2)])
+        mean, _ = aggregate_tables([a, a, a])
+        assert any("3 seeds" in note for note in mean.notes)
+
+
+class TestSeedSweep:
+    def test_sweep_single_table_driver(self):
+        mean, std = seed_sweep(
+            experiments.fig07_map_space_savings,
+            seeds=(1, 2),
+            scale=0.05,
+            workloads=["swaptions"],
+        )
+        assert mean.rows[0][0] == "swaptions"
+        assert all(s is not None for s in std.rows[0][1:])
+
+    def test_sweep_dict_driver(self):
+        out = seed_sweep(
+            experiments.fig09_map_space,
+            seeds=(1,),
+            scale=0.05,
+            workloads=["kmeans"],
+        )
+        assert set(out) == {"error", "runtime"}
+        mean, _ = out["runtime"]
+        assert mean.rows[-1][0] == "geomean"
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            seed_sweep(experiments.fig07_map_space_savings, seeds=())
+
+
+class TestStability:
+    def test_report_structure(self):
+        report = stability_report(
+            experiments.fig07_map_space_savings,
+            seeds=(1, 2),
+            scale=0.05,
+            workloads=["kmeans"],
+            tolerance=0.0,  # flag everything with any spread
+        )
+        assert report.headers == ["row", "column", "mean", "std", "cv"]

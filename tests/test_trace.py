@@ -1,0 +1,186 @@
+"""Tests for trace records, regions, builder and synthetic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import DTYPE_INFO, DType, elements_per_block
+from repro.trace.region import Region, RegionMap
+from repro.trace.synth import (
+    interleave_cores,
+    interleave_streams,
+    partition_blocks,
+    random_pattern,
+    sequential_pattern,
+    strided_pattern,
+    zipf_pattern,
+)
+from repro.trace.trace import TraceBuilder
+
+
+class TestDTypes:
+    def test_elements_per_block(self):
+        assert elements_per_block(DType.F32) == 16
+        assert elements_per_block(DType.U8) == 64
+        assert elements_per_block(DType.F64) == 8
+        assert elements_per_block(DType.I16) == 32
+
+    def test_info_consistency(self):
+        for dtype, info in DTYPE_INFO.items():
+            assert info.numpy_dtype.itemsize * 8 == info.bits
+
+
+class TestRegion:
+    def test_basic_properties(self):
+        r = Region("r", 0, 1024, DType.F32, approx=True, vmin=0, vmax=1)
+        assert r.num_elements == 256
+        assert r.num_blocks() == 16
+        assert r.end == 1024
+
+    def test_contains(self):
+        r = Region("r", 100 * 64, 640, DType.F32, approx=True, vmin=0, vmax=1)
+        assert r.contains(100 * 64)
+        assert r.contains(100 * 64 + 639)
+        assert not r.contains(100 * 64 + 640)
+
+    def test_approx_needs_range(self):
+        with pytest.raises(ValueError):
+            Region("r", 0, 64, DType.F32, approx=True, vmin=1.0, vmax=1.0)
+
+    def test_precise_needs_no_range(self):
+        r = Region("r", 0, 64, DType.I32, approx=False)
+        assert not r.approx
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Region("r", 0, 0, DType.F32)
+
+    def test_block_addrs(self):
+        r = Region("r", 128, 256, DType.F32, approx=True, vmin=0, vmax=1)
+        assert list(r.block_addrs()) == [128, 192, 256, 320]
+
+
+class TestRegionMap:
+    def test_overlap_rejected(self):
+        regions = RegionMap([Region("a", 0, 128, DType.F32)])
+        with pytest.raises(ValueError, match="overlaps"):
+            regions.add(Region("b", 64, 128, DType.F32))
+
+    def test_find(self):
+        regions = RegionMap(
+            [
+                Region("a", 0, 128, DType.F32),
+                Region("b", 256, 128, DType.I32),
+            ]
+        )
+        assert regions.find(300).name == "b"
+        assert regions.find(200) is None
+        assert regions.find_id(64) == 0
+        assert regions.find_id(1 << 20) == -1
+
+    def test_approx_fraction(self):
+        regions = RegionMap(
+            [
+                Region("a", 0, 300 * 64, DType.F32, approx=True, vmin=0, vmax=1),
+                Region("b", 64 * 1024, 100 * 64, DType.I32),
+            ]
+        )
+        assert regions.approx_fraction() == pytest.approx(0.75)
+
+
+class TestTraceBuilder:
+    def test_register_block_values(self, small_region, rng):
+        builder = TraceBuilder("t", RegionMap([small_region]))
+        data = rng.uniform(0, 100, small_region.num_elements).astype(np.float32)
+        ids = builder.register_block_values(small_region, data)
+        assert len(ids) == small_region.num_blocks()
+        trace = builder.build()
+        assert trace.initial_image[small_region.base] == ids[0]
+        np.testing.assert_array_equal(trace.block_values(int(ids[0])), data[:16])
+
+    def test_append_and_iterate(self, small_trace):
+        records = list(small_trace)
+        assert len(records) == len(small_trace)
+        first = records[0]
+        assert first.addr == 0
+        assert not first.is_write
+        assert first.approx
+
+    def test_instruction_count(self, small_trace):
+        assert small_trace.instruction_count == len(small_trace) * 9  # gap 8 + op
+
+    def test_footprint(self, small_trace, small_region):
+        assert small_trace.footprint_bytes() == small_region.size
+
+    def test_head(self, small_trace):
+        sub = small_trace.head(10)
+        assert len(sub) == 10
+        assert sub.values is small_trace.values
+
+    def test_write_fraction(self, small_trace):
+        assert small_trace.write_fraction() == 0.0
+
+    def test_mismatched_columns_rejected(self, small_region):
+        builder = TraceBuilder("t", RegionMap([small_region]))
+        with pytest.raises(ValueError):
+            builder.append_batch(
+                np.zeros(2, np.int8),
+                np.zeros(3, np.int64),
+                np.zeros(3, bool),
+                np.zeros(3, bool),
+                np.zeros(3, np.int32),
+                np.zeros(3, np.int64),
+                np.zeros(3, np.int32),
+            )
+            builder.build()
+
+
+class TestPatterns:
+    def test_sequential(self):
+        pat = sequential_pattern(4, repeats=2)
+        assert list(pat) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_strided(self):
+        pat = strided_pattern(8, stride=3, count=4)
+        assert list(pat) == [0, 3, 6, 1]
+
+    def test_random_in_range(self, rng):
+        pat = random_pattern(16, 100, rng)
+        assert pat.min() >= 0 and pat.max() < 16
+
+    def test_zipf_skewed(self, rng):
+        pat = zipf_pattern(1000, 5000, rng, alpha=1.5)
+        counts = np.bincount(pat, minlength=1000)
+        # The most popular block should be far above uniform.
+        assert counts.max() > 3 * (5000 / 1000)
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sequential_pattern(0)
+        with pytest.raises(ValueError):
+            zipf_pattern(10, 10, rng, alpha=0)
+
+
+class TestInterleaving:
+    def test_interleave_streams_round_robin(self):
+        streams = [np.array([0, 1]), np.array([10, 11])]
+        idx, cores = interleave_streams(streams)
+        assert list(idx) == [0, 10, 1, 11]
+        assert list(cores) == [0, 1, 0, 1]
+
+    def test_uneven_streams(self):
+        streams = [np.array([0, 1, 2]), np.array([10])]
+        idx, cores = interleave_streams(streams)
+        assert list(idx) == [0, 10, 1, 2]
+
+    def test_partition_blocks_covers_all(self):
+        parts = partition_blocks(10, 4)
+        joined = np.concatenate(parts)
+        assert sorted(joined) == list(range(10))
+
+    def test_interleave_cores_modes(self):
+        rr = interleave_cores(8, 4, "roundrobin")
+        assert list(rr) == [0, 1, 2, 3, 0, 1, 2, 3]
+        blk = interleave_cores(8, 4, "block")
+        assert list(blk) == [0, 0, 1, 1, 2, 2, 3, 3]
+        with pytest.raises(ValueError):
+            interleave_cores(8, 4, "weird")

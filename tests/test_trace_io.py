@@ -1,0 +1,71 @@
+"""Round-trip tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.llc import BaselineLLC
+from repro.hierarchy.system import System
+from repro.trace.io import load_trace, save_trace
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return get_workload("swaptions", seed=2, scale=0.05).build_trace()
+
+
+class TestRoundTrip:
+    def test_columns_identical(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        np.testing.assert_array_equal(loaded.addrs, trace.addrs)
+        np.testing.assert_array_equal(loaded.cores, trace.cores)
+        np.testing.assert_array_equal(loaded.is_write, trace.is_write)
+        np.testing.assert_array_equal(loaded.approx, trace.approx)
+        np.testing.assert_array_equal(loaded.gaps, trace.gaps)
+
+    def test_regions_preserved(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.regions) == len(trace.regions)
+        for a, b in zip(loaded.regions, trace.regions):
+            assert (a.name, a.base, a.size, a.dtype, a.approx) == (
+                b.name, b.base, b.size, b.dtype, b.approx
+            )
+            assert a.vmin == b.vmin and a.vmax == b.vmax
+
+    def test_values_preserved(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert len(loaded.values) == len(trace.values)
+        for vid in (0, len(trace.values) // 2, len(trace.values) - 1):
+            np.testing.assert_allclose(
+                loaded.block_values(vid),
+                np.asarray(trace.block_values(vid), dtype=np.float64),
+            )
+
+    def test_simulation_equivalent(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = System(BaselineLLC()).run(trace)
+        b = System(BaselineLLC()).run(loaded)
+        assert a.cycles == b.cycles
+        assert a.llc_misses == b.llc_misses
+        assert a.traffic_bytes == b.traffic_bytes
+
+    def test_version_check(self, trace, tmp_path):
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        import numpy as np_mod
+
+        with np_mod.load(path, allow_pickle=True) as data:
+            contents = {k: data[k] for k in data.files}
+        contents["format_version"] = np_mod.int64(99)
+        np_mod.savez_compressed(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

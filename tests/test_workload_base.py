@@ -1,0 +1,91 @@
+"""Tests for the Workload base-class machinery."""
+
+import numpy as np
+import pytest
+
+from repro.trace.record import DType
+from repro.workloads.base import BLOCK, HEAP_BASE, Workload
+
+
+class _Toy(Workload):
+    """Minimal concrete workload for base-class tests."""
+
+    name = "toy"
+
+    def _build(self):
+        data = np.arange(100, dtype=np.float32)
+        self._add_region("in", data, DType.F32, True, 0.0, 100.0)
+        self._add_region("flags", np.zeros(10, np.int32), DType.I32, False)
+
+    def run(self, approximator=None):
+        return self.region_data("in").sum()
+
+    def error(self, precise, approx):
+        return abs(float(precise) - float(approx))
+
+    def _emit_trace(self, builder, value_ids):
+        self._emit_parallel_scan(builder, value_ids, "in", gap=4)
+
+
+class TestRegionAllocation:
+    def test_regions_block_aligned_and_padded(self):
+        toy = _Toy(seed=0)
+        region = toy.region("in")
+        assert region.base % BLOCK == 0
+        assert region.size % BLOCK == 0
+        assert region.size >= 100 * 4
+
+    def test_regions_start_at_heap_base(self):
+        toy = _Toy(seed=0)
+        assert toy.region("in").base == HEAP_BASE
+
+    def test_guard_gap_between_regions(self):
+        toy = _Toy(seed=0)
+        a = toy.region("in")
+        b = toy.region("flags")
+        assert b.base >= a.end + BLOCK
+
+    def test_region_lookup_by_name(self):
+        toy = _Toy(seed=0)
+        with pytest.raises(KeyError):
+            toy.region("nope")
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            _Toy(seed=0, scale=-1)
+
+    def test_scaled_minimum(self):
+        toy = _Toy(seed=0, scale=1e-9)
+        assert toy._scaled(100, minimum=5) == 5
+
+
+class TestTraceGeneration:
+    def test_trace_covers_padded_blocks(self):
+        toy = _Toy(seed=0)
+        trace = toy.build_trace()
+        region = toy.region("in")
+        # Every block of the region has values in the initial image.
+        for addr in region.block_addrs():
+            assert addr in trace.initial_image
+
+    def test_parallel_scan_interleaves_cores(self):
+        toy = _Toy(seed=0)
+        trace = toy.build_trace()
+        assert set(trace.cores.tolist()) <= {0, 1, 2, 3}
+
+    def test_evaluate_error_identity_zero(self):
+        toy = _Toy(seed=0)
+        from repro.core.functional import IdentityApproximator
+
+        assert toy.evaluate_error(IdentityApproximator()) == 0.0
+
+    def test_refresh_outputs_default_noop(self):
+        toy = _Toy(seed=0)
+        before = toy.region_data("in").copy()
+        toy.refresh_outputs()
+        np.testing.assert_array_equal(toy.region_data("in"), before)
+
+    def test_describe_format(self):
+        text = _Toy(seed=0).describe()
+        assert "toy" in text
+        assert "approximate" in text

