@@ -10,17 +10,37 @@ Regenerate any table or figure of the paper from the shell::
 Experiment names follow the paper: ``fig02``, ``table2``, ``fig07``,
 ``fig08``, ``fig09``, ``fig10``, ``fig11``, ``fig12``, ``fig13``,
 ``fig14``, ``table3``, ``headline``.
+
+Observability (see ``docs/observability.md``)::
+
+    python -m repro.cli fig10 --scale 0.25 --profile
+    python -m repro.cli fig10 --trace-out trace.jsonl --metrics-out m.json
+    python -m repro.cli report
+
+``--profile`` prints a per-phase timing breakdown and writes the event
+trace and metrics snapshot next to the JSON tables. Every experiment
+additionally serializes its tables to ``results/json/<name>.json`` and
+updates the cumulative ``results/json/BENCH_obs.json`` run summary;
+``report`` renders that summary back as text.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-import time
+from time import perf_counter_ns
 from typing import Dict, Optional
 
 from repro.harness import experiments as E
 from repro.harness.runner import ExperimentContext
+from repro.obs import Observability, configure_logging, get_logger
+from repro.obs.output import (
+    DEFAULT_JSON_DIR,
+    render_report,
+    save_experiment_json,
+    update_bench_summary,
+)
 
 #: name -> (driver, needs_context)
 _EXPERIMENTS = {
@@ -38,17 +58,30 @@ _EXPERIMENTS = {
     "headline": (E.summary_headline, True),
 }
 
+log = get_logger("cli")
+
 
 def experiment_names() -> list:
     """All experiment names, in paper order."""
     return list(_EXPERIMENTS)
 
 
-def run_experiment(name: str, ctx: Optional[ExperimentContext], out: Optional[str]) -> None:
-    """Run one experiment; print (and optionally save) its tables."""
+def run_experiment(
+    name: str,
+    ctx: Optional[ExperimentContext],
+    out: Optional[str],
+    json_dir: str = DEFAULT_JSON_DIR,
+    obs: Optional[Observability] = None,
+) -> float:
+    """Run one experiment; print, JSON-serialize and optionally save it.
+
+    Returns the experiment's wall time in seconds.
+    """
     driver, needs_ctx = _EXPERIMENTS[name]
-    start = time.time()
-    result = driver(ctx) if needs_ctx else driver()
+    obs = obs or Observability.disabled()
+    start_ns = perf_counter_ns()
+    with obs.profiler.phase(f"experiment/{name}"):
+        result = driver(ctx) if needs_ctx else driver()
     tables: Dict[str, object] = result if isinstance(result, dict) else {"": result}
     for key, table in tables.items():
         print()
@@ -56,17 +89,25 @@ def run_experiment(name: str, ctx: Optional[ExperimentContext], out: Optional[st
         if out:
             filename = f"{name}_{key}.txt" if key else f"{name}.txt"
             table.save(directory=out, filename=filename)
-    print(f"\n[{name} done in {time.time() - start:.1f}s]")
+    wall_s = (perf_counter_ns() - start_ns) / 1e9
+    save_experiment_json(name, tables, json_dir)
+    update_bench_summary(
+        json_dir,
+        experiments={
+            name: {"wall_s": wall_s, "tables": [k or "main" for k in tables]}
+        },
+    )
+    print(f"\n[{name} done in {wall_s:.1f}s]")
+    return wall_s
 
 
-def main(argv=None) -> int:
-    """CLI entry point."""
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', or 'list'",
+        help="experiment name, 'all', 'list', or 'report'",
     )
     parser.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
     parser.add_argument(
@@ -75,12 +116,51 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--workloads", nargs="*", default=None, help="benchmark subset"
     )
-    parser.add_argument("--out", default=None, help="directory to save tables")
+    parser.add_argument("--out", default=None, help="directory to save text tables")
+    parser.add_argument(
+        "--json-out",
+        default=DEFAULT_JSON_DIR,
+        help=f"directory for JSON tables and BENCH_obs.json (default {DEFAULT_JSON_DIR})",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        type=str.upper,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="logging level for the repro logger",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable observability: per-phase timing breakdown, event trace "
+        "and metrics snapshot under --json-out",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a JSONL event trace to this path (implies tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write a metrics JSON snapshot to this path (implies metrics)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_level)
 
     if args.experiment == "list":
         for name in experiment_names():
             print(name)
+        return 0
+
+    if args.experiment == "report":
+        print(render_report(args.json_out))
         return 0
 
     if args.experiment == "all":
@@ -93,11 +173,47 @@ def main(argv=None) -> int:
             f"choose from {experiment_names()} or 'all'"
         )
 
+    enabled = args.profile or bool(args.trace_out) or bool(args.metrics_out)
+    trace_path = args.trace_out
+    if args.profile and trace_path is None:
+        trace_path = os.path.join(args.json_out, f"trace_{args.experiment}.jsonl")
+    metrics_path = args.metrics_out
+    if args.profile and metrics_path is None:
+        metrics_path = os.path.join(args.json_out, f"metrics_{args.experiment}.json")
+    obs = Observability(enabled=enabled, trace_path=trace_path) if enabled \
+        else Observability.disabled()
+
     ctx = None
     if any(_EXPERIMENTS[n][1] for n in names):
-        ctx = ExperimentContext(seed=args.seed, scale=args.scale, workloads=args.workloads)
+        ctx = ExperimentContext(
+            seed=args.seed, scale=args.scale, workloads=args.workloads, obs=obs
+        )
     for name in names:
-        run_experiment(name, ctx, args.out)
+        run_experiment(name, ctx, args.out, json_dir=args.json_out, obs=obs)
+
+    if enabled:
+        if metrics_path:
+            obs.registry.save_json(metrics_path)
+            log.info("metrics snapshot written to %s", metrics_path)
+        obs.close()
+        update_bench_summary(
+            args.json_out,
+            runs=ctx.run_summaries() if ctx is not None else None,
+            profile=obs.profiler.report(),
+            context=ctx.context_summary() if ctx is not None else None,
+        )
+        if args.profile:
+            print()
+            print(obs.profiler.render())
+            if trace_path and obs.jsonl is not None:
+                print(f"\n[event trace: {obs.jsonl.written} events -> {trace_path}]")
+    elif ctx is not None:
+        # JSON output is always on; fold run stats into the summary too.
+        update_bench_summary(
+            args.json_out,
+            runs=ctx.run_summaries(),
+            context=ctx.context_summary(),
+        )
     return 0
 
 

@@ -28,6 +28,7 @@ This model implements the full protocol of the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclasses_fields
 from typing import List, NamedTuple, Optional
 
 import numpy as np
@@ -98,6 +99,20 @@ class DoppelgangerStats:
         total = self.dirty_tags_evicted + self.clean_tags_evicted
         return self.dirty_tags_evicted / total if total else 0.0
 
+    def as_dict(self) -> dict:
+        """Counters as a plain dict (for metrics collection)."""
+        out = {
+            f.name: getattr(self, f.name)
+            for f in dataclasses_fields(DoppelgangerStats)
+            if f.name != "extra"
+        }
+        out.update(self.extra)
+        return out
+
+    def publish(self, registry, prefix: str) -> None:
+        """Register these counters as a lazily-collected metrics source."""
+        registry.register_source(prefix, self.as_dict)
+
 
 class DoppelgangerCache:
     """Split-design Doppelgänger LLC for approximate data.
@@ -125,11 +140,28 @@ class DoppelgangerCache:
             self.maps.register_regions(regions)
         self.stats = DoppelgangerStats()
         self.block_size = self.config.block_size
+        #: Optional :class:`~repro.obs.events.Tracer`; None (the
+        #: default) keeps the protocol paths free of tracing cost.
+        self.tracer = None
         # Simulation speedup only: a block's map depends solely on its
         # values, so memoize per (region, value-table id). The hardware
         # recomputes every time — stats.map_generations still counts
         # each computation for the energy model.
         self._map_memo: dict = {}
+
+    def publish_metrics(self, registry, prefix: str = "dopp") -> None:
+        """Publish protocol counters and array occupancies."""
+        self.stats.publish(registry, f"{prefix}.stats")
+        registry.register_source(
+            f"{prefix}.arrays",
+            lambda: {
+                "tag_occupied": self.tags.occupied,
+                "tag_entries": self.tags.num_entries,
+                "data_occupied": self.data.occupied,
+                "data_entries": self.data.num_entries,
+                "map_memo_entries": len(self._map_memo),
+            },
+        )
 
     # ------------------------------------------------------------- lookups
 
@@ -230,6 +262,9 @@ class DoppelgangerCache:
         map_value = self._map_for(region_id, values, value_id)
         self.stats.map_generations += 1
         self.stats.insertions += 1
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit("map_generation", addr=addr, region=region_id, map=map_value)
         self._attach(entry, map_value, value_id, writebacks, back_invals)
         return LLCOutcome(hit=False, writebacks=tuple(writebacks), back_invalidations=tuple(back_invals))
 
@@ -248,12 +283,15 @@ class DoppelgangerCache:
         """
         entry.map_value = map_value
         self.stats.mtag_lookups += 1
+        tr = self.tracer
         data_entry = self.data.probe(map_value)
         if data_entry is not None:
             # Similar data block exists: insert at the head of its list.
             self.stats.shared_insertions += 1
             self._link_head(data_entry, entry)
             self.data.touch(data_entry)
+            if tr is not None and tr.enabled:
+                tr.emit("tag_insert", addr=entry.addr, map=map_value, shared=True)
             return
 
         allocation = self.data.allocate(map_value)
@@ -265,6 +303,8 @@ class DoppelgangerCache:
         entry.prev = NULL_PTR
         entry.next = NULL_PTR
         self.stats.data_writes += 1
+        if tr is not None and tr.enabled:
+            tr.emit("tag_insert", addr=entry.addr, map=map_value, shared=False)
 
     # --------------------------------------------------------------- writes
 
@@ -296,11 +336,17 @@ class DoppelgangerCache:
         entry.dirty = True
         entry.state = BlockState.MODIFIED
 
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit("map_generation", addr=addr, region=region_id, map=new_map)
+
         if new_map == entry.map_value:
             self.stats.write_same_map += 1
             return LLCOutcome(hit=True)
 
         self.stats.write_moved += 1
+        if tr is not None and tr.enabled:
+            tr.emit("tag_move", addr=addr, old_map=entry.map_value, new_map=new_map)
         freed = self._unlink(entry)
         if freed is not None:
             # The tag was the data entry's only sharer; release it.
@@ -358,6 +404,14 @@ class DoppelgangerCache:
         tags = list(self.tags.iter_list(victim.head))
         self.stats.data_evictions += 1
         self.stats.tags_at_data_eviction += len(tags)
+        tr = self.tracer
+        if tr is not None and tr.enabled:
+            tr.emit(
+                "data_eviction",
+                map=victim.map_value,
+                tags=len(tags),
+                dirty=sum(1 for t in tags if t.dirty),
+            )
         for tag in tags:
             self.stats.tag_evictions += 1
             if tag.dirty:

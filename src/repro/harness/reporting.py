@@ -7,6 +7,7 @@ and writes it under ``results/``.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from typing import Iterable, List, Optional, Sequence, Union
@@ -125,6 +126,40 @@ class Table:
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "title": self.title,
+            "headers": list(self.headers),
+            "precision": self.precision,
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Table":
+        """Rebuild a table serialized by :meth:`as_dict`."""
+        table = cls(data["title"], data["headers"], data.get("precision", 3))
+        for row in data.get("rows", []):
+            table.add_row(*row)
+        for note in data.get("notes", []):
+            table.add_note(note)
+        return table
+
+    def save_json(self, directory: str = "results/json", filename: Optional[str] = None) -> str:
+        """Write :meth:`as_dict` as JSON under ``directory``; returns path."""
+        os.makedirs(directory, exist_ok=True)
+        if filename is None:
+            slug = "".join(
+                ch if ch.isalnum() else "_" for ch in self.title.lower()
+            ).strip("_")
+            filename = f"{slug[:60]}.json"
+        path = os.path.join(directory, filename)
+        with open(path, "w") as fh:
+            json.dump(self.as_dict(), fh, indent=2, default=str)
+            fh.write("\n")
+        return path
 
     def save(self, directory: str = "results", filename: Optional[str] = None) -> str:
         """Write the rendering to ``directory/filename``; returns path."""

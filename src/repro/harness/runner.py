@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import DoppelgangerConfig, UniDoppelgangerConfig
 from repro.core.functional import BlockApproximator
@@ -25,6 +26,7 @@ from repro.core.maps import MapConfig
 from repro.energy.accounting import EnergyModel, EnergyReport
 from repro.hierarchy.llc import BaselineLLC, SplitDoppelgangerLLC, UnifiedDoppelgangerLLC
 from repro.hierarchy.system import System, SystemConfig, SystemResult
+from repro.obs import Observability, get_logger
 from repro.workloads.registry import get_workload, workload_names
 
 
@@ -136,11 +138,20 @@ class RunRecord:
     system: SystemResult
     energy: EnergyReport
     llc: object
+    #: Simulation wall time (ns, ``perf_counter_ns``) and trace length,
+    #: recorded so the BENCH summary can chart accesses/second.
+    wall_ns: int = 0
+    accesses: int = 0
 
     @property
     def cycles(self) -> int:
         """Runtime in cycles."""
         return self.system.cycles
+
+    @property
+    def accesses_per_sec(self) -> float:
+        """Simulated trace accesses per wall-clock second."""
+        return self.accesses / (self.wall_ns / 1e9) if self.wall_ns else 0.0
 
 
 def env_scale(default: float = 1.0) -> float:
@@ -160,6 +171,11 @@ class ExperimentContext:
         seed: data-generation seed.
         scale: dataset scale (``REPRO_SCALE`` overrides the default).
         workloads: benchmark subset (all nine by default).
+        obs: optional :class:`~repro.obs.Observability` bundle; when
+            given, every pipeline stage is phase-profiled, structure
+            counters are published into its metrics registry, and
+            protocol events flow to its tracer. Defaults to the inert
+            bundle.
     """
 
     def __init__(
@@ -167,7 +183,10 @@ class ExperimentContext:
         seed: Optional[int] = None,
         scale: Optional[float] = None,
         workloads=None,
+        obs: Optional[Observability] = None,
     ):
+        self.obs = obs or Observability.disabled()
+        self.log = get_logger("harness.runner")
         self.seed = env_seed() if seed is None else seed
         self.scale = env_scale() if scale is None else scale
         #: Structure sizes scale with the dataset (power-of-two snap)
@@ -186,13 +205,18 @@ class ExperimentContext:
     def workload(self, name: str):
         """Workload instance (built once)."""
         if name not in self._workloads:
-            self._workloads[name] = get_workload(name, seed=self.seed, scale=self.scale)
+            with self.obs.profiler.phase(f"workload/{name}"):
+                self._workloads[name] = get_workload(
+                    name, seed=self.seed, scale=self.scale
+                )
         return self._workloads[name]
 
     def trace(self, name: str):
         """Workload trace (generated once)."""
         if name not in self._traces:
-            self._traces[name] = self.workload(name).build_trace()
+            self.log.info("generating trace for %s (scale %s)", name, self.scale)
+            with self.obs.profiler.phase(f"trace/{name}"):
+                self._traces[name] = self.workload(name).build_trace()
         return self._traces[name]
 
     def _system_config(self) -> SystemConfig:
@@ -212,11 +236,26 @@ class ExperimentContext:
         key = (name, spec)
         if key not in self._runs:
             trace = self.trace(name)
-            llc = spec.build_llc(trace.regions, self.size_factor)
-            system = System(llc, config=self._system_config())
-            result = system.run(trace)
-            energy = self.energy_model.dynamic_energy(llc, cycles=result.cycles)
-            self._runs[key] = RunRecord(spec=spec, system=result, energy=energy, llc=llc)
+            label = spec.label()
+            self.log.info("simulating %s under %s", name, label)
+            with self.obs.profiler.phase(f"sim/{name}/{label}"):
+                llc = spec.build_llc(trace.regions, self.size_factor)
+                system = System(
+                    llc, config=self._system_config(), tracer=self.obs.tracer
+                )
+                if self.obs.enabled:
+                    system.publish_metrics(
+                        self.obs.registry, f"sim.{name}.{label}"
+                    )
+                start_ns = perf_counter_ns()
+                result = system.run(trace)
+                wall_ns = perf_counter_ns() - start_ns
+            with self.obs.profiler.phase(f"energy/{name}/{label}"):
+                energy = self.energy_model.dynamic_energy(llc, cycles=result.cycles)
+            self._runs[key] = RunRecord(
+                spec=spec, system=result, energy=energy, llc=llc,
+                wall_ns=wall_ns, accesses=len(trace),
+            )
         return self._runs[key]
 
     def error(self, name: str, spec: ConfigSpec) -> float:
@@ -233,9 +272,11 @@ class ExperimentContext:
         if key not in self._errors:
             workload = self.workload(name)
             if name not in self._precise_outputs:
-                self._precise_outputs[name] = workload.run(None)
+                with self.obs.profiler.phase(f"error/{name}/precise"):
+                    self._precise_outputs[name] = workload.run(None)
             approximator = spec.approximator(self.size_factor)
-            approx_out = workload.run(approximator)
+            with self.obs.profiler.phase(f"error/{name}/{spec.label()}"):
+                approx_out = workload.run(approximator)
             self._errors[key] = workload.error(self._precise_outputs[name], approx_out)
         return self._errors[key]
 
@@ -268,3 +309,45 @@ class ExperimentContext:
         base = base_rec.energy.leakage_mw * base_rec.cycles
         this = this_rec.energy.leakage_mw * this_rec.cycles
         return base / this if this else 0.0
+
+    # ----------------------------------------------------------- summaries
+
+    def run_summaries(self) -> List[dict]:
+        """One BENCH-summary dict per simulated (workload, config).
+
+        Feeds ``results/json/BENCH_obs.json`` so the performance
+        trajectory (sim wall time, accesses/sec, hit rates, error)
+        is chartable across PRs.
+        """
+        out = []
+        for (name, spec), rec in self._runs.items():
+            sysres = rec.system
+            out.append(
+                {
+                    "workload": name,
+                    "config": spec.label(),
+                    "sim_wall_s": rec.wall_ns / 1e9,
+                    "accesses": rec.accesses,
+                    "accesses_per_sec": rec.accesses_per_sec,
+                    "cycles": sysres.cycles,
+                    "instructions": sysres.instructions,
+                    "llc_miss_rate": sysres.llc_miss_rate,
+                    "l1_hit_rate": sysres.l1_stats.hit_rate,
+                    "l2_hit_rate": sysres.l2_stats.hit_rate,
+                    "back_invalidations": sysres.back_invalidations,
+                    "coherence_invalidations": sysres.coherence_invalidations,
+                    "wb_stall_cycles": sysres.wb_stall_cycles,
+                    "traffic_bytes": sysres.traffic_bytes,
+                    "error": self._errors.get((name, spec)),
+                }
+            )
+        return out
+
+    def context_summary(self) -> dict:
+        """The knobs that shaped this context (for the BENCH summary)."""
+        return {
+            "seed": self.seed,
+            "scale": self.scale,
+            "size_factor": self.size_factor,
+            "workloads": list(self.names),
+        }

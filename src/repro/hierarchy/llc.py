@@ -115,6 +115,13 @@ class BaselineLLC:
         """Demand misses at the LLC."""
         return self.cache.stats.misses
 
+    def attach_tracer(self, tracer) -> None:
+        """No Doppelgänger mechanics to trace in the baseline."""
+
+    def publish_metrics(self, registry, prefix: str = "llc") -> None:
+        """Publish cache counters into a metrics registry."""
+        self.cache.stats.publish(registry, f"{prefix}.baseline")
+
 
 class SplitDoppelgangerLLC:
     """1 MB precise conventional cache + Doppelgänger cache (Table 1)."""
@@ -215,6 +222,15 @@ class SplitDoppelgangerLLC:
         """Demand misses across both halves."""
         return self.precise.stats.misses + self.dopp.stats.misses
 
+    def attach_tracer(self, tracer) -> None:
+        """Route protocol events of the Doppelgänger half to ``tracer``."""
+        self.dopp.tracer = tracer
+
+    def publish_metrics(self, registry, prefix: str = "llc") -> None:
+        """Publish both halves' counters into a metrics registry."""
+        self.precise.stats.publish(registry, f"{prefix}.precise")
+        self.dopp.publish_metrics(registry, f"{prefix}.dopp")
+
 
 class UnifiedDoppelgangerLLC:
     """uniDoppelgänger LLC (Sec. 3.8): one array pair for everything."""
@@ -276,3 +292,11 @@ class UnifiedDoppelgangerLLC:
     def miss_count(self) -> int:
         """Demand misses at the unified LLC."""
         return self.uni.stats.misses
+
+    def attach_tracer(self, tracer) -> None:
+        """Route protocol events of the unified cache to ``tracer``."""
+        self.uni.tracer = tracer
+
+    def publish_metrics(self, registry, prefix: str = "llc") -> None:
+        """Publish unified-cache counters into a metrics registry."""
+        self.uni.publish_metrics(registry, f"{prefix}.uni")

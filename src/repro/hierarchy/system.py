@@ -108,12 +108,26 @@ class System:
         llc: LLC adapter (see :mod:`repro.hierarchy.llc`).
         config: system parameters.
         mem_latency: main memory latency in cycles.
+        tracer: optional :class:`~repro.obs.events.Tracer`; when
+            enabled it receives coherence, back-invalidation and
+            writeback-buffer events, and is forwarded to the LLC for
+            its protocol events. A disabled (or absent) tracer is
+            normalized to None so the run loop pays one None-check.
     """
 
-    def __init__(self, llc, config: Optional[SystemConfig] = None, mem_latency: int = 160):
+    def __init__(
+        self,
+        llc,
+        config: Optional[SystemConfig] = None,
+        mem_latency: int = 160,
+        tracer=None,
+    ):
         self.config = config or SystemConfig()
         cfg = self.config
         self.llc = llc
+        self.tracer = tracer if (tracer is not None and tracer.enabled) else None
+        if self.tracer is not None and hasattr(llc, "attach_tracer"):
+            llc.attach_tracer(self.tracer)
         self.memory = MainMemory(mem_latency, cfg.block_size)
         self.wb_buffer = WritebackBuffer(cfg.wb_capacity, cfg.wb_drain_interval)
         self.l1s = [
@@ -172,15 +186,21 @@ class System:
         Returns stall cycles incurred at the writeback buffer.
         """
         stall = 0.0
+        tr = self.tracer
         for wb_addr in reply.writebacks:
-            stall += self.wb_buffer.enqueue(wb_addr, int(now + stall))
+            wb_stall = self.wb_buffer.enqueue(wb_addr, int(now + stall))
+            stall += wb_stall
             self.memory.write(wb_addr)
+            if tr is not None:
+                tr.emit("wb_enqueue", addr=wb_addr, stall=wb_stall)
         for inv_addr in reply.back_invalidations:
             if inv_addr == origin_addr:
                 continue
             self.back_invalidations += 1
             self._purge_private(inv_addr)
             self._sharers.pop(inv_addr, None)
+            if tr is not None:
+                tr.emit("back_invalidation", addr=inv_addr, origin=origin_addr)
         return stall
 
     def _purge_private(self, addr: int) -> None:
@@ -235,14 +255,21 @@ class System:
         latency = 0.0
         if others:
             latency += self.config.llc_latency  # directory consult
+            invalidated = 0
             c = 0
             while others:
                 if others & 1:
                     self.l1s[c].invalidate(addr)
                     self.l2s[c].invalidate(addr)
                     self.coherence_invalidations += 1
+                    invalidated += 1
                 others >>= 1
                 c += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "coherence_invalidation",
+                    addr=addr, writer=core, sharers=invalidated,
+                )
         self._sharers[addr] = 1 << core
         return latency
 
@@ -394,6 +421,28 @@ class System:
             l1_stats=l1_stats,
             l2_stats=l2_stats,
             stall_breakdown=dict(self.stall_breakdown),
+        )
+
+    def publish_metrics(self, registry, prefix: str = "system") -> None:
+        """Publish every structure's counters into a metrics registry.
+
+        Sources are lazy (collected on demand), so this is safe to call
+        before :meth:`run` and costs nothing during simulation.
+        """
+        for i, l1 in enumerate(self.l1s):
+            l1.stats.publish(registry, f"{prefix}.l1.{i}")
+        for i, l2 in enumerate(self.l2s):
+            l2.stats.publish(registry, f"{prefix}.l2.{i}")
+        self.wb_buffer.publish(registry, f"{prefix}.wb_buffer")
+        self.memory.publish(registry, f"{prefix}.dram")
+        if hasattr(self.llc, "publish_metrics"):
+            self.llc.publish_metrics(registry, f"{prefix}.llc")
+        registry.register_source(
+            f"{prefix}.coherence",
+            lambda: {
+                "invalidations": self.coherence_invalidations,
+                "back_invalidations": self.back_invalidations,
+            },
         )
 
     def _llc_accesses(self) -> int:

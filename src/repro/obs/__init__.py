@@ -1,0 +1,75 @@
+"""Observability subsystem: metrics, event tracing, phase profiling.
+
+The simulator's structures (:class:`~repro.cache.stats.CacheStats`,
+:class:`~repro.cache.writeback.WritebackBuffer`,
+:class:`~repro.hierarchy.dram.MainMemory`, the Doppelgänger arrays)
+already count events internally; this package makes those counters —
+and the interesting protocol events behind them — visible:
+
+* :mod:`repro.obs.metrics` — a registry of counters / gauges /
+  histograms / timers plus lazily-collected *sources* that structures
+  publish their stats through (near-zero overhead when disabled);
+* :mod:`repro.obs.events` — typed event tracing with pluggable sinks
+  (in-memory ring buffer, JSONL file);
+* :mod:`repro.obs.profiling` — wall-clock phase profiling built on
+  ``perf_counter_ns``;
+* :mod:`repro.obs.output` — machine-readable experiment output (JSON
+  tables under ``results/json/`` and the ``BENCH_obs.json`` run
+  summary);
+* :mod:`repro.obs.logs` — the ``repro`` logger hierarchy.
+
+:class:`Observability` bundles one registry + tracer + profiler and is
+what the harness passes around; ``Observability.disabled()`` (the
+default everywhere) costs one attribute check per instrumented site.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.events import (
+    EVENT_BACK_INVALIDATION,
+    EVENT_COHERENCE_INVALIDATION,
+    EVENT_DATA_EVICTION,
+    EVENT_MAP_GENERATION,
+    EVENT_PHASE,
+    EVENT_TAG_INSERT,
+    EVENT_TAG_MOVE,
+    EVENT_WB_ENQUEUE,
+    Event,
+    EventSink,
+    JsonlFileSink,
+    RingBufferSink,
+    Tracer,
+)
+from repro.obs.logs import configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from repro.obs.profiling import PhaseProfiler
+
+__all__ = [
+    "Observability",
+    "Event",
+    "EventSink",
+    "RingBufferSink",
+    "JsonlFileSink",
+    "Tracer",
+    "EVENT_MAP_GENERATION",
+    "EVENT_TAG_INSERT",
+    "EVENT_TAG_MOVE",
+    "EVENT_DATA_EVICTION",
+    "EVENT_BACK_INVALIDATION",
+    "EVENT_COHERENCE_INVALIDATION",
+    "EVENT_WB_ENQUEUE",
+    "EVENT_PHASE",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "PhaseProfiler",
+    "configure_logging",
+    "get_logger",
+]

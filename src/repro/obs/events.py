@@ -1,0 +1,186 @@
+"""Structured event tracing with pluggable sinks.
+
+Events are the *interesting* Doppelgänger mechanics — the ones the
+paper's Secs. 3.3-3.6 reason about — not every cache access:
+
+========================  =====================================================
+kind                      payload fields
+========================  =====================================================
+``map_generation``        ``addr``, ``region``, ``map`` (Sec. 3.7 hash+bin)
+``tag_insert``            ``addr``, ``map``, ``shared`` (joined existing list?)
+``tag_move``              ``addr``, ``old_map``, ``new_map`` (Sec. 3.4 write)
+``data_eviction``         ``map``, ``tags``, ``dirty`` (Sec. 3.5 fan-out)
+``back_invalidation``     ``addr``, ``origin`` (inclusive-LLC purge)
+``coherence_invalidation``  ``addr``, ``writer``, ``sharers`` (MSI store)
+``wb_enqueue``            ``addr``, ``stall`` (writeback-buffer pressure)
+``phase``                 ``name``, ``ns`` (one per completed profiler phase)
+========================  =====================================================
+
+A :class:`Tracer` fans each event out to its sinks. With no sinks
+attached ``tracer.enabled`` is False and instrumented code skips the
+emit entirely; the harness-wide default is a disabled tracer, so the
+simulation hot path pays one attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter_ns
+from typing import Deque, List, NamedTuple, Optional
+
+from collections import deque
+
+EVENT_MAP_GENERATION = "map_generation"
+EVENT_TAG_INSERT = "tag_insert"
+EVENT_TAG_MOVE = "tag_move"
+EVENT_DATA_EVICTION = "data_eviction"
+EVENT_BACK_INVALIDATION = "back_invalidation"
+EVENT_COHERENCE_INVALIDATION = "coherence_invalidation"
+EVENT_WB_ENQUEUE = "wb_enqueue"
+EVENT_PHASE = "phase"
+
+#: Every kind an instrumented structure may emit (docs + validation).
+EVENT_KINDS = (
+    EVENT_MAP_GENERATION,
+    EVENT_TAG_INSERT,
+    EVENT_TAG_MOVE,
+    EVENT_DATA_EVICTION,
+    EVENT_BACK_INVALIDATION,
+    EVENT_COHERENCE_INVALIDATION,
+    EVENT_WB_ENQUEUE,
+    EVENT_PHASE,
+)
+
+
+class Event(NamedTuple):
+    """One traced event."""
+
+    seq: int
+    ts_ns: int
+    kind: str
+    fields: dict
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly representation."""
+        out = {"seq": self.seq, "ts_ns": self.ts_ns, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+
+class EventSink:
+    """Sink interface; subclasses override :meth:`emit`."""
+
+    def emit(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+
+class RingBufferSink(EventSink):
+    """Keeps the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._buf: Deque[Event] = deque(maxlen=capacity)
+        self.total_emitted = 0
+
+    def emit(self, event: Event) -> None:
+        self._buf.append(event)
+        self.total_emitted += 1
+
+    @property
+    def events(self) -> List[Event]:
+        """Buffered events, oldest first."""
+        return list(self._buf)
+
+    def counts_by_kind(self) -> dict:
+        """Histogram of buffered event kinds."""
+        counts: dict = {}
+        for ev in self._buf:
+            counts[ev.kind] = counts.get(ev.kind, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        """Drop buffered events (``total_emitted`` keeps counting)."""
+        self._buf.clear()
+
+
+class JsonlFileSink(EventSink):
+    """Appends one JSON object per event to a file.
+
+    The file is opened lazily on the first event so constructing a
+    tracer never touches the filesystem.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = None
+        self.written = 0
+
+    def emit(self, event: Event) -> None:
+        if self._fh is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(event.as_dict(), default=str))
+        self._fh.write("\n")
+        self.written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path: str) -> List[dict]:
+    """Load a JSONL trace back into a list of dicts."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+class Tracer:
+    """Fans events out to attached sinks.
+
+    ``enabled`` is kept in sync with sink attachment so hot code can
+    guard with ``if tracer is not None and tracer.enabled``.
+    """
+
+    def __init__(self, sinks: Optional[List[EventSink]] = None):
+        self._sinks: List[EventSink] = list(sinks) if sinks else []
+        self.enabled = bool(self._sinks)
+        self._seq = 0
+        self._t0 = perf_counter_ns()
+
+    def add_sink(self, sink: EventSink) -> EventSink:
+        """Attach a sink (enables the tracer); returns it."""
+        self._sinks.append(sink)
+        self.enabled = True
+        return sink
+
+    @property
+    def sinks(self) -> List[EventSink]:
+        return list(self._sinks)
+
+    def emit(self, kind: str, **fields) -> None:
+        """Emit one event; a no-op without sinks."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        event = Event(self._seq, perf_counter_ns() - self._t0, kind, fields)
+        for sink in self._sinks:
+            sink.emit(event)
+
+    def close(self) -> None:
+        """Close every sink."""
+        for sink in self._sinks:
+            sink.close()

@@ -1,0 +1,52 @@
+"""Logging setup for the ``repro`` package.
+
+Modules get a child of the ``repro`` logger via :func:`get_logger`;
+the CLI's ``--log-level`` flag calls :func:`configure_logging` once.
+Nothing is configured at import time, so library users keep full
+control of handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` hierarchy.
+
+    ``get_logger("harness.runner")`` returns ``repro.harness.runner``;
+    with no argument the root ``repro`` logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: str = "WARNING", stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger.
+
+    Idempotent: reconfiguring replaces the handler installed by a
+    previous call instead of stacking duplicates.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(numeric)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_installed", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    handler._repro_installed = True
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,275 @@
+"""Lightweight metrics registry.
+
+Four instrument kinds cover everything the simulator needs to report:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — last-written value (occupancies, ratios);
+* :class:`Histogram` — distribution summary with power-of-two buckets
+  (tag-list fan-out, stall lengths);
+* :class:`Timer` — a histogram of ``perf_counter_ns`` durations.
+
+Structures that already keep their own counters (``CacheStats``,
+``DoppelgangerStats``, the writeback buffer, DRAM) publish through
+*sources*: a source is a zero-argument callable returning a flat dict,
+registered once and evaluated only when :meth:`MetricsRegistry.collect`
+runs — so an attached-but-idle registry adds nothing to the simulation
+hot path.
+
+A disabled registry hands out a shared :data:`NULL` instrument whose
+methods are no-ops, so call sites never need their own guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter_ns
+from typing import Callable, Dict, Optional
+
+
+class Counter:
+    """Monotonic event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    def as_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def as_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution summary with power-of-two buckets.
+
+    ``buckets[k]`` counts observations ``v`` with ``2**(k-1) < v <=
+    2**k`` (``buckets[0]`` counts ``v <= 1``); negative observations
+    are clamped into bucket 0. Mean/min/max are exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = 0
+        v = value
+        while v > 1:
+            v /= 2.0
+            bucket += 1
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class Timer:
+    """Histogram of wall-clock durations in nanoseconds.
+
+    Use as a context manager::
+
+        with registry.timer("sim.canneal"):
+            system.run(trace)
+    """
+
+    __slots__ = ("name", "hist", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.hist = Histogram(name)
+        self._start = 0
+
+    def __enter__(self) -> "Timer":
+        self._start = perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.hist.observe(perf_counter_ns() - self._start)
+
+    def observe_ns(self, duration_ns: int) -> None:
+        """Record an externally measured duration."""
+        self.hist.observe(duration_ns)
+
+    @property
+    def count(self) -> int:
+        return self.hist.count
+
+    @property
+    def total_ns(self) -> float:
+        return self.hist.total
+
+    @property
+    def total_seconds(self) -> float:
+        return self.hist.total / 1e9
+
+    def as_dict(self) -> dict:
+        out = self.hist.as_dict()
+        out["type"] = "timer"
+        out["total_seconds"] = self.total_seconds
+        return out
+
+
+class _NullInstrument:
+    """No-op stand-in handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    total_ns = 0.0
+    total_seconds = 0.0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_ns(self, duration_ns: int) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+#: Shared no-op instrument (what a disabled registry returns).
+NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Named instruments plus lazily-evaluated stat sources.
+
+    Args:
+        enabled: when False every accessor returns :data:`NULL` and
+            ``collect()`` yields an empty dict.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: Dict[str, object] = {}
+        self._sources: Dict[str, Callable[[], dict]] = {}
+
+    # ---------------------------------------------------------- instruments
+
+    def _get(self, name: str, cls):
+        if not self.enabled:
+            return NULL
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create a counter."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get-or-create a histogram."""
+        return self._get(name, Histogram)
+
+    def timer(self, name: str) -> Timer:
+        """Get-or-create a timer."""
+        return self._get(name, Timer)
+
+    # -------------------------------------------------------------- sources
+
+    def register_source(self, prefix: str, source: Callable[[], dict]) -> None:
+        """Register a stats publisher evaluated only at collection time.
+
+        ``source()`` must return a flat ``{name: number}`` dict; its
+        keys appear in :meth:`collect` as ``"{prefix}.{name}"``.
+        Re-registering a prefix replaces the previous source (a
+        structure rebuilt for a new run supersedes the old one).
+        """
+        if not self.enabled:
+            return
+        self._sources[prefix] = source
+
+    # ------------------------------------------------------------ reporting
+
+    def collect(self) -> dict:
+        """Snapshot every instrument and source as a flat dict."""
+        out: Dict[str, object] = {}
+        for name, inst in sorted(self._instruments.items()):
+            out[name] = inst.as_dict()
+        for prefix, source in sorted(self._sources.items()):
+            for key, value in source().items():
+                out[f"{prefix}.{key}"] = value
+        return out
+
+    def save_json(self, path: str) -> str:
+        """Write the collected snapshot as pretty-printed JSON."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(self.collect(), fh, indent=2, default=str)
+            fh.write("\n")
+        return path
+
+    def reset(self) -> None:
+        """Drop every instrument and source."""
+        self._instruments.clear()
+        self._sources.clear()

@@ -1,0 +1,178 @@
+"""Tests for event tracing (repro.obs.events) and its instrumentation."""
+
+import numpy as np
+
+from repro.core.config import DoppelgangerConfig
+from repro.core.doppelganger import DoppelgangerCache
+from repro.core.maps import MapConfig
+from repro.obs.events import (
+    EVENT_KINDS,
+    Event,
+    JsonlFileSink,
+    RingBufferSink,
+    Tracer,
+    read_jsonl,
+)
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+
+RID = 0
+
+
+def make_cache(tag_entries=64, tag_ways=4, data_fraction=0.25, bits=14):
+    regions = RegionMap(
+        [Region("r", 0, 1 << 20, DType.F32, approx=True, vmin=0.0, vmax=100.0)]
+    )
+    cfg = DoppelgangerConfig(
+        tag_entries=tag_entries,
+        tag_ways=tag_ways,
+        data_fraction=data_fraction,
+        data_ways=4,
+        map=MapConfig(bits),
+    )
+    return DoppelgangerCache(cfg, regions=regions)
+
+
+def block(value, spread=0.0, elems=16):
+    if spread:
+        return np.linspace(value - spread, value + spread, elems)
+    return np.full(elems, float(value))
+
+
+class TestTracer:
+    def test_disabled_without_sinks(self):
+        tr = Tracer()
+        assert not tr.enabled
+        tr.emit("map_generation", addr=0x40)  # no-op
+
+    def test_add_sink_enables(self):
+        tr = Tracer()
+        ring = tr.add_sink(RingBufferSink(8))
+        assert tr.enabled
+        tr.emit("map_generation", addr=0x40, map=3)
+        assert ring.events[0].kind == "map_generation"
+        assert ring.events[0].fields == {"addr": 0x40, "map": 3}
+
+    def test_seq_and_ts_monotonic(self):
+        tr = Tracer()
+        ring = tr.add_sink(RingBufferSink(8))
+        tr.emit("a")
+        tr.emit("b")
+        first, second = ring.events
+        assert second.seq == first.seq + 1
+        assert second.ts_ns >= first.ts_ns
+
+    def test_fanout_to_multiple_sinks(self, tmp_path):
+        tr = Tracer()
+        ring = tr.add_sink(RingBufferSink(8))
+        jsonl = tr.add_sink(JsonlFileSink(str(tmp_path / "t.jsonl")))
+        tr.emit("data_eviction", map=1, tags=4, dirty=1)
+        tr.close()
+        assert ring.total_emitted == 1
+        assert jsonl.written == 1
+
+
+class TestRingBufferSink:
+    def test_capacity_bound(self):
+        ring = RingBufferSink(2)
+        for i in range(5):
+            ring.emit(Event(i, i, "k", {}))
+        assert len(ring.events) == 2
+        assert ring.total_emitted == 5
+        assert ring.events[0].seq == 3
+
+    def test_counts_by_kind(self):
+        ring = RingBufferSink(8)
+        ring.emit(Event(1, 0, "a", {}))
+        ring.emit(Event(2, 0, "a", {}))
+        ring.emit(Event(3, 0, "b", {}))
+        assert ring.counts_by_kind() == {"a": 2, "b": 1}
+
+
+class TestJsonlFileSink:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "trace.jsonl")
+        sink = JsonlFileSink(path)
+        sink.emit(Event(1, 100, "map_generation", {"addr": 64, "map": 5}))
+        sink.emit(Event(2, 200, "back_invalidation", {"addr": 128, "origin": 64}))
+        sink.close()
+        events = read_jsonl(path)
+        assert [e["kind"] for e in events] == ["map_generation", "back_invalidation"]
+        assert events[0] == {
+            "seq": 1, "ts_ns": 100, "kind": "map_generation", "addr": 64, "map": 5,
+        }
+
+    def test_close_idempotent(self, tmp_path):
+        sink = JsonlFileSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+
+class TestDoppelgangerInstrumentation:
+    def attach(self, cache):
+        tracer = Tracer()
+        ring = tracer.add_sink(RingBufferSink(4096))
+        cache.tracer = tracer
+        return ring
+
+    def test_insert_emits_map_generation_and_tag_insert(self):
+        cache = make_cache()
+        ring = self.attach(cache)
+        cache.insert(0x40, RID, block(10))
+        kinds = ring.counts_by_kind()
+        assert kinds["map_generation"] == 1
+        assert kinds["tag_insert"] == 1
+        insert_ev = [e for e in ring.events if e.kind == "tag_insert"][0]
+        assert insert_ev.fields["shared"] is False
+
+    def test_similar_insert_marked_shared(self):
+        cache = make_cache()
+        ring = self.attach(cache)
+        cache.insert(0x40, RID, block(10))
+        cache.insert(0x80, RID, block(10))  # same map -> joins the list
+        shared = [e for e in ring.events if e.kind == "tag_insert"][1]
+        assert shared.fields["shared"] is True
+
+    def test_write_with_new_map_emits_tag_move(self):
+        cache = make_cache()
+        ring = self.attach(cache)
+        cache.insert(0x40, RID, block(10))
+        cache.writeback(0x40, RID, block(90))
+        moves = [e for e in ring.events if e.kind == "tag_move"]
+        assert len(moves) == 1
+        assert moves[0].fields["old_map"] != moves[0].fields["new_map"]
+
+    def test_data_eviction_reports_fanout(self):
+        # 16-entry data array (64 tags * 1/4), 4-way: fill every set and
+        # force a data-entry eviction carrying a multi-tag list.
+        cache = make_cache()
+        ring = self.attach(cache)
+        addr = 0x40
+        # Two tags sharing one data entry:
+        cache.insert(addr, RID, block(50))
+        cache.insert(addr + 0x40, RID, block(50))
+        # Distinct maps until some set overflows:
+        v = 0
+        while not any(e.kind == "data_eviction" for e in ring.events):
+            v += 1
+            addr += 0x40
+            cache.insert(addr + 0x40, RID, block(v % 100, spread=(v % 7) / 10))
+            assert v < 5000, "no data eviction triggered"
+        ev = [e for e in ring.events if e.kind == "data_eviction"][0]
+        assert ev.fields["tags"] >= 1
+        assert 0 <= ev.fields["dirty"] <= ev.fields["tags"]
+
+    def test_untraced_cache_behaves_identically(self):
+        traced, plain = make_cache(), make_cache()
+        self.attach(traced)
+        for i in range(200):
+            addr = 0x40 * (i + 1)
+            traced.insert(addr, RID, block(i % 50, spread=(i % 3) / 10))
+            plain.insert(addr, RID, block(i % 50, spread=(i % 3) / 10))
+        assert traced.stats == plain.stats
+        traced.check_invariants()
+
+    def test_event_kinds_registry_is_complete(self):
+        assert "map_generation" in EVENT_KINDS
+        assert "back_invalidation" in EVENT_KINDS
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)

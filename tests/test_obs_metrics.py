@@ -1,0 +1,150 @@
+"""Tests for the metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.cache.stats import CacheStats
+from repro.obs.metrics import (
+    NULL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.as_dict() == {"type": "counter", "value": 5}
+
+    def test_gauge(self):
+        g = Gauge("occupancy")
+        g.set(0.75)
+        assert g.value == 0.75
+        assert g.as_dict()["type"] == "gauge"
+
+    def test_histogram_summary(self):
+        h = Histogram("fanout")
+        for v in (1, 2, 4, 8):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 15
+        assert h.mean == pytest.approx(3.75)
+        assert h.min == 1
+        assert h.max == 8
+
+    def test_histogram_pow2_buckets(self):
+        h = Histogram("x")
+        h.observe(1)  # bucket 0 (v <= 1)
+        h.observe(3)  # bucket 2 (2 < v <= 4)
+        h.observe(4)  # bucket 2
+        assert h.buckets[0] == 1
+        assert h.buckets[2] == 2
+
+    def test_histogram_negative_clamped_to_bucket_zero(self):
+        h = Histogram("x")
+        h.observe(-5)
+        assert h.buckets == {0: 1}
+        assert h.min == -5
+
+    def test_timer_context_manager(self):
+        t = Timer("phase")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total_ns > 0
+        assert t.as_dict()["type"] == "timer"
+
+    def test_timer_observe_ns(self):
+        t = Timer("phase")
+        t.observe_ns(2_000_000_000)
+        assert t.total_seconds == pytest.approx(2.0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_disabled_registry_hands_out_null(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a")
+        assert c is NULL
+        c.inc()  # no-op, no error
+        reg.register_source("src", lambda: {"x": 1})
+        assert reg.collect() == {}
+
+    def test_null_instrument_covers_all_protocols(self):
+        NULL.inc()
+        NULL.set(3)
+        NULL.observe(1.0)
+        NULL.observe_ns(5)
+        with NULL:
+            pass
+        assert NULL.value == 0
+
+    def test_sources_are_lazy_and_live(self):
+        reg = MetricsRegistry()
+        state = {"n": 0}
+        reg.register_source("cache", lambda: {"n": state["n"]})
+        state["n"] = 7
+        assert reg.collect()["cache.n"] == 7
+
+    def test_source_reregistration_replaces(self):
+        reg = MetricsRegistry()
+        reg.register_source("s", lambda: {"v": 1})
+        reg.register_source("s", lambda: {"v": 2})
+        assert reg.collect()["s.v"] == 2
+
+    def test_collect_combines_instruments_and_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.register_source("s", lambda: {"v": 1})
+        out = reg.collect()
+        assert out["c"]["value"] == 3
+        assert out["s.v"] == 1
+
+    def test_save_json_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        path = reg.save_json(str(tmp_path / "sub" / "metrics.json"))
+        data = json.loads(open(path).read())
+        assert data["c"]["value"] == 2
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.register_source("s", lambda: {"v": 1})
+        reg.reset()
+        assert reg.collect() == {}
+
+
+class TestCacheStatsPublishing:
+    def test_publish_appears_under_prefix(self):
+        reg = MetricsRegistry()
+        stats = CacheStats()
+        stats.publish(reg, "llc")
+        stats.hits = 5
+        stats.extra["custom"] = 2
+        out = reg.collect()
+        assert out["llc.hits"] == 5
+        assert out["llc.custom"] == 2
+
+    def test_publish_into_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        CacheStats().publish(reg, "llc")
+        assert reg.collect() == {}

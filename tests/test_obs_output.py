@@ -1,0 +1,146 @@
+"""Tests for machine-readable output (repro.obs.output, Table JSON)."""
+
+import json
+import os
+
+from repro.harness.reporting import Table
+from repro.obs.output import (
+    BENCH_FILENAME,
+    load_json,
+    render_report,
+    save_experiment_json,
+    update_bench_summary,
+    write_json,
+)
+
+
+def make_table():
+    t = Table("Fig. X: demo", ["workload", "a", "b"], precision=2)
+    t.add_row("canneal", 1.25, 3)
+    t.add_row("jpeg", None, 0.5)
+    t.add_note("a note")
+    return t
+
+
+class TestTableJson:
+    def test_as_dict_round_trip(self):
+        t = make_table()
+        clone = Table.from_dict(t.as_dict())
+        assert clone.render() == t.render()
+        assert clone.rows == t.rows
+        assert clone.notes == t.notes
+
+    def test_as_dict_is_json_serializable(self):
+        json.dumps(make_table().as_dict())
+
+    def test_save_json(self, tmp_path):
+        path = make_table().save_json(str(tmp_path))
+        data = load_json(path)
+        assert data["title"] == "Fig. X: demo"
+        assert data["rows"][0] == ["canneal", 1.25, 3]
+        assert data["rows"][1][1] is None
+
+    def test_save_json_explicit_filename(self, tmp_path):
+        path = make_table().save_json(str(tmp_path), filename="demo.json")
+        assert path.endswith("demo.json")
+        assert os.path.exists(path)
+
+
+class TestExperimentJson:
+    def test_single_table_keyed_main(self, tmp_path):
+        path = save_experiment_json("fig99", {"": make_table()}, str(tmp_path))
+        data = load_json(path)
+        assert data["experiment"] == "fig99"
+        assert list(data["tables"]) == ["main"]
+
+    def test_multi_table_keys_preserved(self, tmp_path):
+        tables = {"error": make_table(), "runtime": make_table()}
+        data = load_json(save_experiment_json("fig10", tables, str(tmp_path)))
+        assert set(data["tables"]) == {"error", "runtime"}
+        assert data["tables"]["error"]["rows"] == make_table().as_dict()["rows"]
+
+
+class TestBenchSummary:
+    def test_creates_file(self, tmp_path):
+        path = update_bench_summary(
+            str(tmp_path), experiments={"fig10": {"wall_s": 1.0, "tables": ["error"]}}
+        )
+        data = load_json(path)
+        assert data["schema"] == "repro-bench/v1"
+        assert data["experiments"]["fig10"]["wall_s"] == 1.0
+
+    def test_merges_experiments_across_calls(self, tmp_path):
+        d = str(tmp_path)
+        update_bench_summary(d, experiments={"fig10": {"wall_s": 1.0}})
+        update_bench_summary(d, experiments={"fig11": {"wall_s": 2.0}})
+        data = load_json(os.path.join(d, BENCH_FILENAME))
+        assert set(data["experiments"]) == {"fig10", "fig11"}
+
+    def test_runs_replace_same_workload_config(self, tmp_path):
+        d = str(tmp_path)
+        update_bench_summary(
+            d, runs=[{"workload": "jpeg", "config": "baseline-2MB", "sim_wall_s": 9.0}]
+        )
+        update_bench_summary(
+            d,
+            runs=[
+                {"workload": "jpeg", "config": "baseline-2MB", "sim_wall_s": 1.0},
+                {"workload": "canneal", "config": "baseline-2MB", "sim_wall_s": 2.0},
+            ],
+        )
+        runs = load_json(os.path.join(d, BENCH_FILENAME))["runs"]
+        assert len(runs) == 2
+        jpeg = [r for r in runs if r["workload"] == "jpeg"][0]
+        assert jpeg["sim_wall_s"] == 1.0
+
+    def test_corrupt_summary_is_regenerated(self, tmp_path):
+        d = str(tmp_path)
+        with open(os.path.join(d, BENCH_FILENAME), "w") as fh:
+            fh.write("{not json")
+        path = update_bench_summary(d, experiments={"fig10": {"wall_s": 1.0}})
+        assert load_json(path)["experiments"]["fig10"]["wall_s"] == 1.0
+
+    def test_profile_and_context_overwrite(self, tmp_path):
+        d = str(tmp_path)
+        update_bench_summary(d, profile={"stages": {"sim": 1.0}}, context={"seed": 7})
+        update_bench_summary(d, profile={"stages": {"sim": 2.0}}, context={"seed": 8})
+        data = load_json(os.path.join(d, BENCH_FILENAME))
+        assert data["profile"]["stages"]["sim"] == 2.0
+        assert data["context"]["seed"] == 8
+
+
+class TestRenderReport:
+    def test_missing_directory(self, tmp_path):
+        assert "run an experiment first" in render_report(str(tmp_path / "nope"))
+
+    def test_empty_directory(self, tmp_path):
+        assert BENCH_FILENAME in render_report(str(tmp_path))
+
+    def test_full_report(self, tmp_path):
+        d = str(tmp_path)
+        save_experiment_json("fig10", {"error": make_table()}, d)
+        update_bench_summary(
+            d,
+            experiments={"fig10": {"wall_s": 1.5, "tables": ["error"]}},
+            runs=[
+                {
+                    "workload": "jpeg",
+                    "config": "dopp-14bit-1/4",
+                    "sim_wall_s": 0.5,
+                    "accesses_per_sec": 1e5,
+                    "llc_miss_rate": 0.25,
+                    "back_invalidations": 3,
+                }
+            ],
+            profile={"stages": {"sim": 0.5, "trace": 0.1}},
+        )
+        text = render_report(d)
+        assert "fig10" in text
+        assert "jpeg" in text
+        assert "dopp-14bit-1/4" in text
+        assert "sim" in text
+        assert "fig10.json" in text
+
+    def test_write_json_creates_parents(self, tmp_path):
+        path = write_json(str(tmp_path / "a" / "b.json"), {"x": 1})
+        assert load_json(path) == {"x": 1}
