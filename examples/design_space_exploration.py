@@ -13,10 +13,10 @@ Run:  python examples/design_space_exploration.py [workload]
 
 import sys
 
+import repro
 from repro.energy import EnergyModel
 from repro.energy.structures import baseline_llc_structure, doppelganger_structures
 from repro.harness.reporting import Table
-from repro.harness.runner import ExperimentContext, dopp_spec
 
 MAP_BITS = (12, 13, 14)
 FRACTIONS = (0.5, 0.25, 0.125)
@@ -24,7 +24,7 @@ FRACTIONS = (0.5, 0.25, 0.125)
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "kmeans"
-    ctx = ExperimentContext(seed=7, scale=0.5, workloads=[name])
+    ctx = repro.ExperimentContext(seed=7, scale=0.5, workloads=[name])
     model = EnergyModel()
     base_area = model.cacti.area_mm2(baseline_llc_structure())
 
@@ -36,7 +36,7 @@ def main() -> None:
     )
     for bits in MAP_BITS:
         for frac in FRACTIONS:
-            spec = dopp_spec(map_bits=bits, data_fraction=frac)
+            spec = repro.dopp_spec(map_bits=bits, data_fraction=frac)
             error = 100.0 * ctx.error(name, spec)
             runtime = ctx.normalized_runtime(name, spec)
             dyn = ctx.dynamic_energy_reduction(name, spec)
@@ -51,7 +51,7 @@ def main() -> None:
     table.add_note("paper's operating point: 14-bit map, 1/4 data array")
     print(table.render())
 
-    best = dopp_spec(map_bits=14, data_fraction=0.25)
+    best = repro.dopp_spec(map_bits=14, data_fraction=0.25)
     print(
         f"\nchosen point -> error {100 * ctx.error(name, best):.2f}%, "
         f"runtime {ctx.normalized_runtime(name, best):.3f}x, "

@@ -1,30 +1,33 @@
 #!/usr/bin/env python
 """Quickstart: the Doppelgänger cache in five minutes.
 
-Walks the public API end to end:
+Walks the public API (``docs/api.md``) end to end:
 
 1. build an annotated workload (the jpeg benchmark),
 2. inspect approximate similarity in its data (the paper's Sec. 2),
 3. run the structural Doppelgänger cache on the workload's memory
    trace inside the full 4-core hierarchy, against the conventional
-   baseline LLC,
+   baseline LLC — one ``repro.simulate`` call per configuration,
 4. measure application output error with the functional model,
-5. price the hardware with the CACTI-calibrated energy/area model.
+5. price the hardware with the CACTI-calibrated energy/area model
+   (bundled into every simulation's :class:`repro.RunRecord`).
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import BlockApproximator, DoppelgangerConfig, MapConfig
+import repro
+from repro.core import MapConfig
 from repro.core.maps import MapGenerator
-from repro.energy import EnergyModel
 from repro.harness.reporting import Table
-from repro.hierarchy import BaselineLLC, SplitDoppelgangerLLC, System
-from repro.workloads import get_workload
 
 
 def main() -> None:
     # ------------------------------------------------------------ 1. workload
-    workload = get_workload("jpeg", seed=7, scale=0.25)
+    # One context = one (seed, scale) universe; workloads, traces and
+    # simulations are all memoized inside it. REPRO_SCALE=0.25 shrinks
+    # the dataset (and the cache structures with it) for a quick pass.
+    ctx = repro.ExperimentContext(seed=7, workloads=["jpeg"])
+    workload = ctx.workload("jpeg")
     print(workload.describe())
 
     # ------------------------------------------------- 2. approximate similarity
@@ -51,37 +54,37 @@ def main() -> None:
     print("-> equal maps: these blocks would share ONE data-array entry\n")
 
     # ------------------------------------------------------ 3. cycle simulation
-    trace = workload.build_trace()
+    trace = ctx.trace("jpeg")
     print(f"trace: {len(trace)} accesses, {trace.footprint_bytes() // 1024} KB footprint")
 
-    baseline = BaselineLLC(regions=trace.regions)
-    base_result = System(baseline).run(trace)
+    # repro.simulate = trace -> 4-core hierarchy -> timing + energy,
+    # memoized per (workload, config). "baseline" and "dopp" are
+    # shorthands for the paper's configurations.
+    base = repro.simulate("jpeg", "baseline", ctx=ctx)
+    spec = repro.dopp_spec(map_bits=14, data_fraction=0.25)
+    dopp = repro.simulate("jpeg", spec, ctx=ctx)
 
-    config = DoppelgangerConfig(data_fraction=0.25, map=MapConfig(14))
-    dopp_llc = SplitDoppelgangerLLC(config, regions=trace.regions)
-    dopp_result = System(dopp_llc).run(trace)
-
-    table = Table("Baseline 2MB LLC vs split Doppelgänger (1MB precise + 256KB data)",
+    table = Table("Baseline 2MB LLC vs split Doppelgänger (1MB precise + 1/4 data)",
                   ["metric", "baseline", "doppelganger"])
-    table.add_row("cycles", base_result.cycles, dopp_result.cycles)
-    table.add_row("LLC misses", base_result.llc_misses, dopp_result.llc_misses)
-    table.add_row("off-chip KB", base_result.traffic_bytes // 1024,
-                  dopp_result.traffic_bytes // 1024)
+    table.add_row("cycles", base.system.cycles, dopp.system.cycles)
+    table.add_row("LLC misses", base.system.llc_misses, dopp.system.llc_misses)
+    table.add_row("off-chip KB", base.system.traffic_bytes // 1024,
+                  dopp.system.traffic_bytes // 1024)
     table.add_row("tags per shared entry (current)", None,
-                  round(dopp_llc.dopp.current_avg_tags_per_entry(), 2))
+                  round(dopp.llc.dopp.current_avg_tags_per_entry(), 2))
     print()
     print(table.render())
 
     # ------------------------------------------------------------- 4. error
-    approximator = BlockApproximator(MapConfig(14), data_entries=config.data_entries)
+    approximator = spec.approximator(ctx.size_factor)
     error = workload.evaluate_error(approximator)
     print(f"\napplication output error: {100 * error:.2f}% "
           f"(sharing rate {approximator.sharing_rate():.2f})")
 
     # ------------------------------------------------------------ 5. energy
-    model = EnergyModel()
-    base_energy = model.dynamic_energy(baseline, cycles=base_result.cycles)
-    dopp_energy = model.dynamic_energy(dopp_llc, cycles=dopp_result.cycles)
+    # Every RunRecord carries its energy report; rec.to_dict() bundles
+    # config + system + energy in the unified JSON schema.
+    base_energy, dopp_energy = base.energy, dopp.energy
     print(f"\nLLC area:           {base_energy.area_mm2:.2f} mm2 -> "
           f"{dopp_energy.area_mm2:.2f} mm2 "
           f"({base_energy.area_mm2 / dopp_energy.area_mm2:.2f}x reduction)")

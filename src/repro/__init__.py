@@ -9,18 +9,70 @@ contribution (the Doppelgänger and uniDoppelgänger caches) and an
 experiment harness that regenerates every table and figure of the paper's
 evaluation section.
 
-Quick start::
+The stable public API (see ``docs/api.md``)::
 
-    from repro.core import DoppelgangerCache, DoppelgangerConfig
-    from repro.workloads import get_workload
+    import repro
 
-    workload = get_workload("jpeg", seed=7)
-    cache = DoppelgangerCache(DoppelgangerConfig())
-    ...
+    record = repro.simulate("jpeg", "dopp", scale=0.25)
+    tables = repro.run_experiment("table2", scale=0.25)
 
 See ``examples/quickstart.py`` for a complete runnable tour.
 """
 
-__version__ = "1.0.0"
+from typing import TYPE_CHECKING
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: Lazily resolved exports (PEP 562): attribute -> defining module.
+#: Keeps ``import repro`` light — the simulator only loads when used.
+_LAZY_EXPORTS = {
+    "simulate": "repro.api",
+    "run_experiment": "repro.api",
+    "as_spec": "repro.api",
+    "ConfigSpec": "repro.harness.runner",
+    "ExperimentContext": "repro.harness.runner",
+    "RunRecord": "repro.harness.runner",
+    "baseline_spec": "repro.harness.runner",
+    "dopp_spec": "repro.harness.runner",
+    "uni_spec": "repro.harness.runner",
+    "experiment_names": "repro.harness.experiments",
+    "SystemResult": "repro.hierarchy.system",
+    "System": "repro.hierarchy.system",
+    "engine_names": "repro.engine",
+    "get_engine": "repro.engine",
+}
+
+__all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.api import as_spec, run_experiment, simulate  # noqa: F401
+    from repro.engine import engine_names, get_engine  # noqa: F401
+    from repro.harness.experiments import experiment_names  # noqa: F401
+    from repro.harness.runner import (  # noqa: F401
+        ConfigSpec,
+        ExperimentContext,
+        RunRecord,
+        baseline_spec,
+        dopp_spec,
+        uni_spec,
+    )
+    from repro.hierarchy.system import System, SystemResult  # noqa: F401
+
+
+def __getattr__(name: str):
+    """Resolve a public export on first access (PEP 562)."""
+    try:
+        module_name = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

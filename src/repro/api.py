@@ -1,0 +1,152 @@
+"""Stable top-level API: :func:`simulate` and :func:`run_experiment`.
+
+These two calls are the supported programmatic surface of the
+reproduction (re-exported as ``repro.simulate`` /
+``repro.run_experiment``; see ``docs/api.md``). Everything they return
+serializes through one ``to_dict()`` schema shared with the CLI's
+JSON output, so a script, ``results/json/*.json`` and the ``compare``
+subcommand all consume the same shape.
+
+Quick start::
+
+    import repro
+
+    record = repro.simulate("jpeg", "dopp", scale=0.25)
+    print(record.system.cycles, record.to_dict()["system"]["llc_miss_rate"])
+
+    tables = repro.run_experiment("table2", scale=0.25)
+    print(tables[""].render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.harness.runner import (
+    ConfigSpec,
+    ExperimentContext,
+    RunRecord,
+    baseline_spec,
+    dopp_spec,
+    uni_spec,
+)
+
+#: Shorthand accepted wherever a config is expected.
+_KIND_SPECS = {
+    "baseline": baseline_spec,
+    "dopp": dopp_spec,
+    "uni": uni_spec,
+}
+
+
+def as_spec(config) -> ConfigSpec:
+    """Coerce ``config`` into a :class:`ConfigSpec`.
+
+    Accepts a spec, ``None`` (baseline), or one of the kind shorthands
+    ``"baseline"`` / ``"dopp"`` / ``"uni"`` (paper-default map bits
+    and data fraction).
+    """
+    if config is None:
+        return baseline_spec()
+    if isinstance(config, ConfigSpec):
+        return config
+    if isinstance(config, str):
+        try:
+            return _KIND_SPECS[config]()
+        except KeyError:
+            raise ValueError(
+                f"unknown config {config!r}; choose from {sorted(_KIND_SPECS)} "
+                "or pass a ConfigSpec"
+            ) from None
+    raise TypeError(f"config must be a ConfigSpec, str or None, got {type(config)!r}")
+
+
+def simulate(
+    workload: str,
+    config=None,
+    *,
+    engine: str = "batched",
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    ctx: Optional[ExperimentContext] = None,
+) -> RunRecord:
+    """Simulate one workload under one LLC configuration.
+
+    Args:
+        workload: benchmark name (see
+            :func:`repro.workloads.registry.workload_names`).
+        config: a :class:`ConfigSpec`, a kind shorthand (``"baseline"``,
+            ``"dopp"``, ``"uni"``) or ``None`` for the baseline LLC.
+        engine: ``"batched"`` (default) or ``"reference"`` — both are
+            bit-identical; see :mod:`repro.engine`.
+        seed: data-generation seed (``REPRO_SEED`` / 7 by default).
+        scale: dataset scale (``REPRO_SCALE`` / 1.0 by default).
+        ctx: reuse an existing context (its memo) instead of building
+            a fresh one; ``seed``/``scale``/``engine`` are then
+            ignored in favour of the context's.
+
+    Returns:
+        The memoized :class:`RunRecord` — timing in ``.system``,
+        energy in ``.energy``, the LLC structure in ``.llc``, JSON
+        form via ``.to_dict()``.
+    """
+    spec = as_spec(config)
+    if ctx is None:
+        ctx = ExperimentContext(
+            seed=seed, scale=scale, workloads=[workload], engine=engine
+        )
+    return ctx.run(workload, spec)
+
+
+def run_experiment(
+    name: str,
+    *,
+    ctx: Optional[ExperimentContext] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    workloads: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
+    jobs: int = 1,
+    json_dir: Optional[str] = None,
+) -> Dict[str, "object"]:
+    """Run one experiment driver and return its tables.
+
+    Args:
+        name: experiment name (``repro.cli list`` prints them all).
+        ctx: reuse an existing context; otherwise one is built from
+            ``seed`` / ``scale`` / ``workloads`` / ``engine``.
+        jobs: with ``jobs > 1``, prefetch the experiment's simulations
+            across a process pool first (results are identical to a
+            sequential run; see :mod:`repro.harness.parallel`).
+        json_dir: also serialize the tables to
+            ``<json_dir>/<name>.json`` via the unified ``to_dict()``
+            schema.
+
+    Returns:
+        Mapping of sub-table key to
+        :class:`~repro.harness.reporting.Table` (single-table
+        experiments use the key ``""``).
+    """
+    from repro.harness.experiments import EXPERIMENTS
+
+    try:
+        driver, needs_ctx = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
+        ) from None
+    if needs_ctx and ctx is None:
+        ctx = ExperimentContext(
+            seed=seed, scale=scale, workloads=workloads, engine=engine
+        )
+    if needs_ctx and jobs > 1:
+        from repro.harness.parallel import prefetch_runs
+
+        prefetch_runs(ctx, [name], jobs)
+    result = driver(ctx) if needs_ctx else driver()
+    tables = result if isinstance(result, dict) else {"": result}
+    if json_dir:
+        from repro.obs.output import save_experiment_json
+
+        save_experiment_json(name, tables, json_dir)
+    return tables

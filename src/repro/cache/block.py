@@ -9,7 +9,7 @@ plus a dirty bit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class BlockState(enum.Enum):
@@ -49,7 +49,6 @@ class CacheBlock:
     dirty: bool = False
     sharers: int = 0
     value_id: int = -1
-    extra: dict = field(default_factory=dict)
 
     def add_sharer(self, core: int) -> None:
         """Record ``core`` in the directory sharer vector."""

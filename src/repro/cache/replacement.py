@@ -54,19 +54,24 @@ class LRUPolicy(ReplacementPolicy):
 
     def __init__(self, ways: int):
         super().__init__(ways)
-        # Most-recent at the end. Starts in way order so that victims of a
-        # never-touched set are deterministic.
-        self._order = list(range(ways))
+        # Insertion-ordered dict, most-recent last: re-inserting a key
+        # moves it to the end in O(1), where a list's remove() walks the
+        # set. Starts in way order so that victims of a never-touched
+        # set are deterministic.
+        self._order = dict.fromkeys(range(ways))
 
     def on_access(self, way: int) -> None:
-        self._order.remove(way)
-        self._order.append(way)
+        order = self._order
+        del order[way]
+        order[way] = None
 
     def on_fill(self, way: int) -> None:
-        self.on_access(way)
+        order = self._order
+        del order[way]
+        order[way] = None
 
     def victim(self) -> int:
-        return self._order[0]
+        return next(iter(self._order))
 
     def recency_order(self) -> list:
         """Ways ordered least- to most-recently used (for tests)."""
@@ -80,19 +85,19 @@ class FIFOPolicy(ReplacementPolicy):
 
     def __init__(self, ways: int):
         super().__init__(ways)
-        self._queue = list(range(ways))
+        self._queue = dict.fromkeys(range(ways))
 
     def on_access(self, way: int) -> None:
         # FIFO ignores hits.
         pass
 
     def on_fill(self, way: int) -> None:
-        if way in self._queue:
-            self._queue.remove(way)
-        self._queue.append(way)
+        queue = self._queue
+        queue.pop(way, None)
+        queue[way] = None
 
     def victim(self) -> int:
-        return self._queue[0]
+        return next(iter(self._queue))
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -155,54 +155,61 @@ class SetAssociativeCache:
                 on reads and updates it on writes only when ``>= 0``.
             fill_on_miss: install the block on a miss.
         """
-        self.stats.accesses += 1
-        self.stats.tag_lookups += 1
+        stats = self.stats
+        stats.accesses += 1
+        stats.tag_lookups += 1
         if is_write:
-            self.stats.write_accesses += 1
+            stats.write_accesses += 1
         else:
-            self.stats.read_accesses += 1
+            stats.read_accesses += 1
 
-        set_idx = self.set_index(addr)
-        tag = self.addr_tag(addr)
+        block_no = addr // self.block_size
+        set_idx = block_no % self.num_sets
+        tag = block_no // self.num_sets
         way = self._tag_to_way[set_idx].get(tag)
         if way is not None:
             block = self._ways[set_idx][way]
-            self.stats.hits += 1
+            stats.hits += 1
             if is_write:
                 block.dirty = True
                 block.state = BlockState.MODIFIED
-                self.stats.data_writes += 1
+                stats.data_writes += 1
                 if value_id >= 0:
                     block.value_id = value_id
             else:
-                self.stats.data_reads += 1
+                stats.data_reads += 1
             self._policies[set_idx].on_access(way)
             return AccessResult(hit=True, block=block)
 
-        self.stats.misses += 1
+        stats.misses += 1
         if not fill_on_miss:
             return AccessResult(hit=False, block=CacheBlock(tag, BlockState.INVALID))
         return self._fill(addr, is_write, value_id)
 
     def _fill(self, addr: int, is_write: bool, value_id: int) -> AccessResult:
         """Install ``addr``, evicting a victim when the set is full."""
-        set_idx = self.set_index(addr)
-        tag = self.addr_tag(addr)
+        stats = self.stats
+        num_sets = self.num_sets
+        block_no = addr // self.block_size
+        set_idx = block_no % num_sets
+        tag = block_no // num_sets
         evicted_addr = None
         evicted_block = None
         writeback = False
 
         ways_map = self._ways[set_idx]
         if len(ways_map) < self.ways:
-            way = next(w for w in range(self.ways) if w not in ways_map)
+            for way in range(self.ways):
+                if way not in ways_map:
+                    break
         else:
             way = self._policies[set_idx].victim()
             evicted_block = ways_map[way]
-            evicted_addr = self._compose_addr(set_idx, evicted_block.tag)
+            evicted_addr = (evicted_block.tag * num_sets + set_idx) * self.block_size
             writeback = evicted_block.dirty
-            self.stats.evictions += 1
+            stats.evictions += 1
             if writeback:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             del self._tag_to_way[set_idx][evicted_block.tag]
 
         block = CacheBlock(
@@ -214,11 +221,11 @@ class SetAssociativeCache:
         ways_map[way] = block
         self._tag_to_way[set_idx][tag] = way
         self._policies[set_idx].on_fill(way)
-        self.stats.fills += 1
+        stats.fills += 1
         if is_write:
-            self.stats.data_writes += 1
+            stats.data_writes += 1
         else:
-            self.stats.data_reads += 1
+            stats.data_reads += 1
         return AccessResult(
             hit=False,
             block=block,
@@ -234,7 +241,8 @@ class SetAssociativeCache:
         counted) demand miss; fills/evictions/writebacks are still
         recorded. Raises if the address is already resident.
         """
-        if self.probe(addr) is not None:
+        block_no = addr // self.block_size
+        if block_no // self.num_sets in self._tag_to_way[block_no % self.num_sets]:
             raise ValueError(f"install of resident address {addr:#x}")
         return self._fill(addr, dirty, value_id)
 
@@ -246,9 +254,9 @@ class SetAssociativeCache:
         The caller decides what to do with a dirty victim (the private
         caches write it back toward the LLC; the LLC writes to memory).
         """
-        set_idx = self.set_index(addr)
-        tag = self.addr_tag(addr)
-        way = self._tag_to_way[set_idx].pop(tag, None)
+        block_no = addr // self.block_size
+        set_idx = block_no % self.num_sets
+        way = self._tag_to_way[set_idx].pop(block_no // self.num_sets, None)
         if way is None:
             return None
         block = self._ways[set_idx].pop(way)

@@ -9,19 +9,29 @@ Regenerate any table or figure of the paper from the shell::
 
 Experiment names follow the paper: ``fig02``, ``table2``, ``fig07``,
 ``fig08``, ``fig09``, ``fig10``, ``fig11``, ``fig12``, ``fig13``,
-``fig14``, ``table3``, ``headline``.
+``fig14``, ``table3``, ``headline``. Two meta-names select several at
+once: ``all`` (everything) and ``experiments`` (an explicit sweep —
+``repro experiments fig10 fig11 --jobs 4`` — whose simulations are
+prefetched across a process pool with ``--jobs``).
+
+Engine and parallelism::
+
+    python -m repro.cli table2 --engine reference   # bit-identical check
+    python -m repro.cli experiments --jobs 4        # full sweep, 4 procs
 
 Observability (see ``docs/observability.md``)::
 
     python -m repro.cli fig10 --scale 0.25 --profile
-    python -m repro.cli fig10 --trace-out trace.jsonl --metrics-out m.json
+    python -m repro.cli fig10 --trace-out trace.jsonl --trace-sample 100
     python -m repro.cli report
+    python -m repro.cli compare old/BENCH_obs.json new/BENCH_obs.json
 
 ``--profile`` prints a per-phase timing breakdown and writes the event
 trace and metrics snapshot next to the JSON tables. Every experiment
 additionally serializes its tables to ``results/json/<name>.json`` and
 updates the cumulative ``results/json/BENCH_obs.json`` run summary;
-``report`` renders that summary back as text.
+``report`` renders that summary back as text and ``compare`` diffs two
+summaries, exiting 1 on a regression.
 """
 
 from __future__ import annotations
@@ -29,10 +39,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import warnings
 from time import perf_counter_ns
 from typing import Dict, Optional
 
-from repro.harness import experiments as E
+from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
+from repro.harness.experiments import experiment_names
 from repro.harness.runner import ExperimentContext
 from repro.obs import Observability, configure_logging, get_logger
 from repro.obs.output import (
@@ -42,31 +54,12 @@ from repro.obs.output import (
     update_bench_summary,
 )
 
-#: name -> (driver, needs_context)
-_EXPERIMENTS = {
-    "fig02": (E.fig02_threshold_similarity, True),
-    "table2": (E.table2_approx_footprint, True),
-    "fig07": (E.fig07_map_space_savings, True),
-    "fig08": (E.fig08_compression_comparison, True),
-    "fig09": (E.fig09_map_space, True),
-    "fig10": (E.fig10_data_array, True),
-    "fig11": (E.fig11_energy_reduction, True),
-    "fig12": (E.fig12_offchip_traffic, True),
-    "fig13": (E.fig13_area_reduction, False),
-    "fig14": (E.fig14_unidoppelganger, True),
-    "table3": (E.table3_hardware_cost, False),
-    "headline": (E.summary_headline, True),
-}
+__all__ = ["experiment_names", "main", "run_experiment"]
 
 log = get_logger("cli")
 
 
-def experiment_names() -> list:
-    """All experiment names, in paper order."""
-    return list(_EXPERIMENTS)
-
-
-def run_experiment(
+def _run_experiment(
     name: str,
     ctx: Optional[ExperimentContext],
     out: Optional[str],
@@ -101,13 +94,74 @@ def run_experiment(
     return wall_s
 
 
+def run_experiment(
+    name: str,
+    ctx: Optional[ExperimentContext],
+    out: Optional[str],
+    json_dir: str = DEFAULT_JSON_DIR,
+    obs: Optional[Observability] = None,
+) -> float:
+    """Deprecated shim; use :func:`repro.run_experiment` instead.
+
+    Kept so pre-1.1 scripts keep working: same signature, still prints
+    the tables and returns the wall time in seconds. The supported
+    replacement returns the tables themselves and lives in
+    :mod:`repro.api`.
+    """
+    warnings.warn(
+        "repro.cli.run_experiment is deprecated; use repro.run_experiment "
+        "(which returns the tables) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_experiment(name, ctx, out, json_dir=json_dir, obs=obs)
+
+
+def _main_compare(argv) -> int:
+    """The ``compare`` subcommand: diff two BENCH_obs.json files."""
+    from repro.obs.compare import compare_bench
+
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description="Diff two BENCH_obs.json summaries; exit 1 on regression.",
+    )
+    parser.add_argument("old", help="baseline BENCH_obs.json")
+    parser.add_argument("new", help="candidate BENCH_obs.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        help="tolerance: relative for wall times, absolute for "
+        "hit/miss rates and error (default 0.05)",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=None,
+        help="separate (relative) tolerance for the noisy wall-time "
+        "metrics; defaults to --threshold",
+    )
+    args = parser.parse_args(argv)
+    comparison = compare_bench(
+        args.old, args.new,
+        threshold=args.threshold, wall_threshold=args.wall_threshold,
+    )
+    print(comparison.render())
+    return 1 if comparison.regressions else 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'all', 'list', or 'report'",
+        help="experiment name, 'all', 'experiments', 'list', 'report' or 'compare'",
+    )
+    parser.add_argument(
+        "extra",
+        nargs="*",
+        help="with 'experiments': the names to sweep (default: all)",
     )
     parser.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
     parser.add_argument(
@@ -115,6 +169,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workloads", nargs="*", default=None, help="benchmark subset"
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=("batched", "reference"),
+        help="simulation engine (default: batched; both are bit-identical)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="prefetch simulations across N worker processes (default 1)",
     )
     parser.add_argument("--out", default=None, help="directory to save text tables")
     parser.add_argument(
@@ -141,6 +207,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace to this path (implies tracing)",
     )
     parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=1,
+        help="emit 1-in-N traced events (default 1 = every event)",
+    )
+    parser.add_argument(
         "--metrics-out",
         default=None,
         help="write a metrics JSON snapshot to this path (implies metrics)",
@@ -150,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """CLI entry point."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "compare":
+        return _main_compare(argv[1:])
+
     parser = _build_parser()
     args = parser.parse_args(argv)
     configure_logging(args.log_level)
@@ -163,15 +239,32 @@ def main(argv=None) -> int:
         print(render_report(args.json_out))
         return 0
 
-    if args.experiment == "all":
-        names = experiment_names()
+    if args.experiment in ("all", "experiments"):
+        names = args.extra or experiment_names()
+        unknown = [n for n in names if n not in _EXPERIMENTS]
+        if unknown:
+            parser.error(
+                f"unknown experiment(s) {unknown}; choose from {experiment_names()}"
+            )
     elif args.experiment in _EXPERIMENTS:
-        names = [args.experiment]
+        names = [args.experiment] + [
+            n for n in args.extra if n != args.experiment
+        ]
+        unknown = [n for n in names if n not in _EXPERIMENTS]
+        if unknown:
+            parser.error(
+                f"unknown experiment(s) {unknown}; choose from {experiment_names()}"
+            )
     else:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {experiment_names()} or 'all'"
+            f"choose from {experiment_names()}, 'all' or 'experiments'"
         )
+
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.trace_sample < 1:
+        parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
 
     enabled = args.profile or bool(args.trace_out) or bool(args.metrics_out)
     trace_path = args.trace_out
@@ -180,16 +273,36 @@ def main(argv=None) -> int:
     metrics_path = args.metrics_out
     if args.profile and metrics_path is None:
         metrics_path = os.path.join(args.json_out, f"metrics_{args.experiment}.json")
-    obs = Observability(enabled=enabled, trace_path=trace_path) if enabled \
+    obs = (
+        Observability(
+            enabled=enabled, trace_path=trace_path, trace_sample=args.trace_sample
+        )
+        if enabled
         else Observability.disabled()
+    )
 
     ctx = None
     if any(_EXPERIMENTS[n][1] for n in names):
         ctx = ExperimentContext(
-            seed=args.seed, scale=args.scale, workloads=args.workloads, obs=obs
+            seed=args.seed,
+            scale=args.scale,
+            workloads=args.workloads,
+            obs=obs,
+            engine=args.engine,
         )
+        if args.jobs > 1:
+            from repro.harness.parallel import prefetch_runs
+
+            if enabled:
+                print(
+                    "[note: --jobs simulates in worker processes; per-access "
+                    "traces/metrics are not captured for prefetched runs]"
+                )
+            fetched = prefetch_runs(ctx, names, args.jobs)
+            if fetched:
+                print(f"[prefetched {fetched} runs across {args.jobs} jobs]")
     for name in names:
-        run_experiment(name, ctx, args.out, json_dir=args.json_out, obs=obs)
+        _run_experiment(name, ctx, args.out, json_dir=args.json_out, obs=obs)
 
     if enabled:
         if metrics_path:

@@ -225,6 +225,39 @@ class DoppelgangerCache:
             return map_value
         return self.maps.compute(region_id, values)
 
+    def seed_map_memo(self, pairs, values_table) -> int:
+        """Precompute the map memo for ``(region_id, value_id)`` pairs.
+
+        Trace-level batching: the engines enumerate every pair a run can
+        reach and this computes each region's maps in one
+        :meth:`~repro.core.maps.MapGenerator.compute_batch` call instead
+        of per cold miss. Purely a speedup — ``compute_batch`` over
+        stacked rows equals the per-row computation bit-for-bit, and
+        ``map_generations`` still counts every simulated hardware
+        computation at its call sites. Returns the number of entries
+        added.
+        """
+        memo = self._map_memo
+        by_region: dict = {}
+        for rid, vid in pairs:
+            if (rid, vid) not in memo:
+                by_region.setdefault(rid, []).append(vid)
+        added = 0
+        for rid, vids in by_region.items():
+            gen = self.maps.generator(rid)
+            if gen is None:
+                continue
+            # Rows of one region share a length, but group defensively.
+            by_len: dict = {}
+            for vid in vids:
+                by_len.setdefault(len(values_table[vid]), []).append(vid)
+            for same_len in by_len.values():
+                stacked = np.stack([values_table[v] for v in same_len])
+                for vid, map_value in zip(same_len, gen.compute_batch(stacked)):
+                    memo[(rid, vid)] = int(map_value)
+                    added += 1
+        return added
+
     # ----------------------------------------------------------- insertions
 
     def insert(

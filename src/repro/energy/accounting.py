@@ -64,6 +64,22 @@ class EnergyReport:
         """Dynamic plus leakage energy."""
         return self.dynamic_pj + self.leakage_energy_pj
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (the ``energy`` object of ``docs/api.md``)."""
+        return {
+            "dynamic_pj": self.dynamic_pj,
+            "leakage_mw": self.leakage_mw,
+            "leakage_energy_pj": self.leakage_energy_pj,
+            "total_pj": self.total_pj,
+            "area_mm2": self.area_mm2,
+            "cycles": self.cycles,
+            "frequency_ghz": self.frequency_ghz,
+            "breakdown": {
+                "/".join(map(str, key)): round(val, 3)
+                for key, val in sorted(self.breakdown.items())
+            },
+        }
+
 
 class EnergyModel:
     """Maps LLC event counts to energy and area.

@@ -1,0 +1,602 @@
+"""The batched engine: bulk trace precomputation + an inline hit fast path.
+
+The trace's columns are converted and block-aligned in one numpy pass
+(:mod:`repro.engine.precompute`), every reachable Doppelgänger map is
+computed in bulk before the scan, and the scan itself retires private
+cache read hits on an inline fast path:
+
+* a read that hits the issuing core's L1 is retired with a replacement
+  touch, a sharer-bit OR and a timing update — no cache-model calls;
+* a read that misses the L1 but hits the core's L2 replays the L1 fill
+  (including a possible dirty-victim write into the L2) and the L2 read
+  touch inline;
+* a write with no *remote* sharer bits set (so store coherence is a
+  no-op) that hits the L1, or misses the L1 but hits the L2, replays
+  the same fill logic with the store semantics (dirty/MODIFIED, value
+  tracking, sharer reset) — a write always retires at ``now + l1_lat``;
+* a read that misses both private levels but hits a conventional
+  baseline LLC replays the L1 and L2 fills and the LLC's read touch,
+  provided no eviction on the way can cascade (dirty victims must stay
+  within the fast path's reach) — the access never reaches memory, so
+  the MLP state is untouched;
+* everything else — misses that reach memory, stores that must
+  invalidate remote copies, anything structurally outside the replayed
+  cases — falls through to the shared slow path of
+  :mod:`repro.engine.step`.
+
+Eligibility is decided by probing the caches' live tag→way maps
+directly. An earlier design pre-masked each chunk against a snapshot of
+the per-core L2 resident sets (numpy ``isin``), but measurement showed
+the snapshot goes stale within ~1K accesses on streaming workloads —
+the scaled L2 holds only a few hundred blocks and turns over completely
+many times per chunk, collapsing fast-path coverage to the L1 hits.
+The live probes are exact at every instant and cost two dict lookups.
+
+Fixed-shape statistics and exact dyadic timing terms (gap sums, hit
+latencies) are accumulated in plain integers and flushed once at the
+end, which is what makes the fast path cheap *and* bit-identical: with
+a power-of-two issue width every timing term is a dyadic rational far
+below 2^52, so regrouped float sums equal the reference's sequential
+sums exactly. Configurations where that argument fails (non-power-of-
+two issue width) or where victim selection is stateful (``random``
+replacement, whose RNG advances per query) delegate to the reference
+engine wholesale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.block import BlockState, CacheBlock
+from repro.engine import reference
+from repro.hierarchy.llc import BaselineLLC
+from repro.engine.precompute import trace_columns
+from repro.engine.step import finalize, make_state, prepare, process_access
+
+#: Replacement policies whose ``victim()`` is a pure query, so the fast
+#: path may peek at the victim before deciding to commit or abort.
+_PURE_VICTIM_POLICIES = ("lru", "fifo", "plru")
+
+
+def run(system, trace, limit: Optional[int] = None):
+    """Simulate ``trace``, bit-identically to the reference engine."""
+    cfg = system.config
+    width_i = cfg.issue_width
+    if width_i & (width_i - 1) or cfg.policy not in _PURE_VICTIM_POLICIES:
+        return reference.run(system, trace, limit)
+
+    st = make_state(system)
+    prepare(system, trace)
+    cols = trace_columns(trace, cfg.block_size)
+
+    cores_l = cols.cores
+    baddrs = cols.baddrs
+    writes_l = cols.writes
+    approx_l = cols.approx
+    rids_l = cols.region_ids
+    vids_l = cols.value_ids
+    gaps_l = cols.gaps
+    n = len(baddrs) if limit is None else min(limit, len(baddrs))
+
+    bshift = cfg.block_size.bit_length() - 1
+    blocks_l = (cols.baddr_np >> bshift).tolist()
+
+    num_cores = cfg.num_cores
+    l1s, l2s = system.l1s, system.l2s
+    l1_maps = [c._tag_to_way for c in l1s]
+    l1_ways = [c._ways for c in l1s]
+    l1_pols = [c._policies for c in l1s]
+    l2_maps = [c._tag_to_way for c in l2s]
+    l2_ways = [c._ways for c in l2s]
+    l2_pols = [c._policies for c in l2s]
+
+    l1_sets = l1s[0].num_sets
+    l1_mask = l1_sets - 1
+    l1_bits = l1_sets.bit_length() - 1
+    l1_assoc = l1s[0].ways
+    l2_sets = l2s[0].num_sets
+    l2_mask = l2_sets - 1
+    l2_bits = l2_sets.bit_length() - 1
+    l2_assoc = l2s[0].ways
+
+    # The LLC fast paths need direct access to a conventional
+    # (single-array, approx-oblivious) LLC whose victim choice is a
+    # pure query; Doppelgänger organizations take the slow path on
+    # every private miss.
+    llc_plain = isinstance(system.llc, BaselineLLC)
+    if llc_plain:
+        lcache = system.llc.cache
+        llc_plain = (lcache.policy_name in _PURE_VICTIM_POLICIES
+                     and lcache.block_size == cfg.block_size)
+    if llc_plain:
+        llc_maps = lcache._tag_to_way
+        llc_ways_arr = lcache._ways
+        llc_pols = lcache._policies
+        llc_assoc = lcache.ways
+        llc_nsets = lcache.num_sets
+        llc_mask = llc_nsets - 1
+        llc_sbits = llc_nsets.bit_length() - 1
+
+    cycles = st.cycles
+    sharers = system._sharers
+    cur_value = system._cur_value
+    width = st.width
+    l1_lat = st.l1_lat
+    l2_lat = st.l2_lat
+    l1f = float(l1_lat)
+    lat12f = float(l1_lat) + l2_lat  # matches the reference's += order
+    lat123f = float(l1_lat) + l2_lat + st.llc_lat
+    core_bit = [1 << c for c in range(num_cores)]
+
+    # LRU is the paper's policy everywhere; its touch/fill/victim are
+    # two dict ops, worth inlining past the method dispatch.
+    is_lru = cfg.policy == "lru"
+    llc_lru = llc_plain and lcache.policy_name == "lru"
+    shared = BlockState.SHARED
+    modified = BlockState.MODIFIED
+    new_block = CacheBlock
+    step = process_access
+
+    # Fixed-shape bulk counters, flushed once after the scan. The _w
+    # variants count the store fast paths.
+    n_l1hit = [0] * num_cores  # fast L1 read hits
+    n_fill_free = [0] * num_cores  # fast L2 hits, L1 fill into a free way
+    n_fill_clean = [0] * num_cores  # ... evicting a clean L1 victim
+    n_fill_dirty = [0] * num_cores  # ... evicting a dirty L1 victim
+    n_l1whit = [0] * num_cores
+    n_wfill_free = [0] * num_cores
+    n_wfill_clean = [0] * num_cores
+    n_wfill_dirty = [0] * num_cores
+    n_llchit = [0] * num_cores  # fast LLC read hits (L1+L2 read misses)
+    n_mem = [0] * num_cores  # fast LLC read misses served by memory
+    n_le1_clean = [0] * num_cores  # ... evicting a clean L1 victim
+    n_le1_dirty = [0] * num_cores  # ... evicting a dirty L1 victim
+    n_le2 = [0] * num_cores  # ... evicting a (clean) L2 victim
+    n_pinv_l1 = [0] * num_cores  # back-invalidation purges, per holder
+    n_pinv_l2 = [0] * num_cores
+    n_llc_evict = 0  # clean LLC evictions (each back-invalidates)
+    mem_wr = 0  # memory writes from purged dirty private copies
+    mem_bd = 0.0  # exact dyadic sum of per-miss memory-stall terms
+    mem_ready_l = st.mem_ready
+    runahead = st.runahead
+    mem_interval = st.mem_interval
+    mem_latency = st.mem_latency
+    comp_gaps = 0  # gap sum over fast-path accesses
+    insns = 0  # instruction count over fast-path accesses
+
+    for p in range(n):
+        c = cores_l[p]
+        b = blocks_l[p]
+        s1 = b & l1_mask
+        m1 = l1_maps[c][s1]
+        t1 = b >> l1_bits
+        w1 = m1.get(t1)
+        if writes_l[p]:
+            a = baddrs[p]
+            if sharers.get(a, 0) & ~core_bit[c]:
+                # Remote sharers: the store must invalidate them.
+                step(system, st, c, a, True, approx_l[p], rids_l[p],
+                     vids_l[p], gaps_l[p])
+                continue
+            vid = vids_l[p]
+            if w1 is not None:
+                # Fast path: store hit in the L1, no remote copies.
+                if vid >= 0:
+                    cur_value[a] = vid
+                sharers[a] = core_bit[c]
+                blk = l1_ways[c][s1][w1]
+                blk.dirty = True
+                blk.state = modified
+                if vid >= 0:
+                    blk.value_id = vid
+                if is_lru:
+                    o = l1_pols[c][s1]._order
+                    del o[w1]
+                    o[w1] = None
+                else:
+                    l1_pols[c][s1].on_access(w1)
+                g = gaps_l[p]
+                comp_gaps += g
+                insns += g + 1
+                cycles[c] = cycles[c] + g / width + l1f
+                n_l1whit[c] += 1
+                continue
+            cm2 = l2_maps[c]
+            s2 = b & l2_mask
+            w2 = cm2[s2].get(b >> l2_bits)
+            if w2 is None:
+                step(system, st, c, a, True, approx_l[p], rids_l[p],
+                     vids_l[p], gaps_l[p])
+                continue
+            # Fast path: store missing the L1, hitting the L2.
+            ws1 = l1_ways[c][s1]
+            vb = None
+            if len(ws1) < l1_assoc:
+                for way in range(l1_assoc):
+                    if way not in ws1:
+                        break
+            else:
+                way = (next(iter(l1_pols[c][s1]._order)) if is_lru
+                       else l1_pols[c][s1].victim())
+                vb = ws1[way]
+                if vb.dirty:
+                    vbn = (vb.tag << l1_bits) | s1
+                    sv = vbn & l2_mask
+                    wv = cm2[sv].get(vbn >> l2_bits)
+                    if wv is None:
+                        # Dirty victim would cascade into the LLC.
+                        step(system, st, c, a, True, approx_l[p],
+                             rids_l[p], vids_l[p], gaps_l[p])
+                        continue
+            if vid >= 0:
+                cur_value[a] = vid
+            sharers[a] = core_bit[c]
+            if vb is not None:
+                del m1[vb.tag]
+            ws1[way] = new_block(t1, state=modified, dirty=True, value_id=vid)
+            m1[t1] = way
+            if is_lru:
+                o = l1_pols[c][s1]._order
+                del o[way]
+                o[way] = None
+            else:
+                l1_pols[c][s1].on_fill(way)
+            if vb is None:
+                n_wfill_free[c] += 1
+            elif not vb.dirty:
+                n_wfill_clean[c] += 1
+            else:
+                n_wfill_dirty[c] += 1
+                b2 = l2_ways[c][sv][wv]
+                b2.dirty = True
+                b2.state = modified
+                if vb.value_id >= 0:
+                    b2.value_id = vb.value_id
+                if is_lru:
+                    o = l2_pols[c][sv]._order
+                    del o[wv]
+                    o[wv] = None
+                else:
+                    l2_pols[c][sv].on_access(wv)
+            # Demand L2 write hit.
+            b2 = l2_ways[c][s2][w2]
+            b2.dirty = True
+            b2.state = modified
+            if vid >= 0:
+                b2.value_id = vid
+            if is_lru:
+                o = l2_pols[c][s2]._order
+                del o[w2]
+                o[w2] = None
+            else:
+                l2_pols[c][s2].on_access(w2)
+            g = gaps_l[p]
+            comp_gaps += g
+            insns += g + 1
+            cycles[c] = cycles[c] + g / width + l1f
+            continue
+        if w1 is not None:
+            # Fast path: L1 read hit.
+            if is_lru:
+                o = l1_pols[c][s1]._order
+                del o[w1]
+                o[w1] = None
+            else:
+                l1_pols[c][s1].on_access(w1)
+            a = baddrs[p]
+            sharers[a] = sharers.get(a, 0) | core_bit[c]
+            g = gaps_l[p]
+            comp_gaps += g
+            insns += g + 1
+            cycles[c] = cycles[c] + g / width + l1f
+            n_l1hit[c] += 1
+            continue
+        cm2 = l2_maps[c]
+        s2 = b & l2_mask
+        t2 = b >> l2_bits
+        w2 = cm2[s2].get(t2)
+        if w2 is None:
+            # The read misses both private levels. With a conventional
+            # LLC both remaining outcomes — LLC hit, and LLC miss with
+            # a contained (free or clean) LLC victim — replay inline.
+            # All checks are pure; the first failure falls through to
+            # the slow path.
+            if not llc_plain:
+                step(system, st, c, baddrs[p], False, approx_l[p], rids_l[p],
+                     vids_l[p], gaps_l[p])
+                continue
+            a = baddrs[p]
+            sl = b & llc_mask
+            tl = b >> llc_sbits
+            wl = llc_maps[sl].get(tl)
+            if wl is None:
+                # Miss-only checks: the reference raises for an approx
+                # block with no tracked value, and a dirty LLC victim
+                # goes through the writeback buffer — both slow.
+                fill_vid = cur_value.get(a, -1)
+                if approx_l[p] and fill_vid < 0:
+                    step(system, st, c, a, False, True, rids_l[p],
+                         vids_l[p], gaps_l[p])
+                    continue
+                wsl = llc_ways_arr[sl]
+                vbl = None
+                if len(wsl) < llc_assoc:
+                    for wayl in range(llc_assoc):
+                        if wayl not in wsl:
+                            break
+                else:
+                    wayl = (next(iter(llc_pols[sl]._order)) if llc_lru
+                            else llc_pols[sl].victim())
+                    vbl = wsl[wayl]
+                    if vbl.dirty:
+                        step(system, st, c, a, False, approx_l[p],
+                             rids_l[p], vids_l[p], gaps_l[p])
+                        continue
+            ws1 = l1_ways[c][s1]
+            vb = None
+            if len(ws1) < l1_assoc:
+                for way in range(l1_assoc):
+                    if way not in ws1:
+                        break
+            else:
+                way = (next(iter(l1_pols[c][s1]._order)) if is_lru
+                       else l1_pols[c][s1].victim())
+                vb = ws1[way]
+                if vb.dirty:
+                    vbn = (vb.tag << l1_bits) | s1
+                    sv = vbn & l2_mask
+                    # sv == s2 would let the victim's touch reorder the
+                    # set the demand fill is about to pick a victim
+                    # from, invalidating the pure peek below.
+                    if sv == s2 or cm2[sv].get(vbn >> l2_bits) is None:
+                        step(system, st, c, a, False, approx_l[p],
+                             rids_l[p], vids_l[p], gaps_l[p])
+                        continue
+                    wv = cm2[sv][vbn >> l2_bits]
+            ws2 = l2_ways[c][s2]
+            vb2 = None
+            if len(ws2) < l2_assoc:
+                for way2 in range(l2_assoc):
+                    if way2 not in ws2:
+                        break
+            else:
+                way2 = (next(iter(l2_pols[c][s2]._order)) if is_lru
+                        else l2_pols[c][s2].victim())
+                vb2 = ws2[way2]
+                if vb2.dirty:
+                    # Dirty L2 victim would write back into the LLC.
+                    step(system, st, c, a, False, approx_l[p],
+                         rids_l[p], vids_l[p], gaps_l[p])
+                    continue
+            # Commit. Order replays the slow path: L1 fill, dirty
+            # victim into the L2, demand L2 fill, then the LLC.
+            vid = vids_l[p]
+            sharers[a] = sharers.get(a, 0) | core_bit[c]
+            if vb is not None:
+                del m1[vb.tag]
+            ws1[way] = new_block(t1, state=shared, value_id=vid)
+            m1[t1] = way
+            if is_lru:
+                o = l1_pols[c][s1]._order
+                del o[way]
+                o[way] = None
+            else:
+                l1_pols[c][s1].on_fill(way)
+            if vb is None:
+                pass
+            elif not vb.dirty:
+                n_le1_clean[c] += 1
+            else:
+                n_le1_dirty[c] += 1
+                b2 = l2_ways[c][sv][wv]
+                b2.dirty = True
+                b2.state = modified
+                if vb.value_id >= 0:
+                    b2.value_id = vb.value_id
+                if is_lru:
+                    o = l2_pols[c][sv]._order
+                    del o[wv]
+                    o[wv] = None
+                else:
+                    l2_pols[c][sv].on_access(wv)
+            if vb2 is not None:
+                del cm2[s2][vb2.tag]
+                n_le2[c] += 1
+            ws2[way2] = new_block(t2, state=shared, value_id=vid)
+            cm2[s2][t2] = way2
+            if is_lru:
+                o = l2_pols[c][s2]._order
+                del o[way2]
+                o[way2] = None
+            else:
+                l2_pols[c][s2].on_fill(way2)
+            g = gaps_l[p]
+            comp_gaps += g
+            insns += g + 1
+            if wl is not None:
+                # LLC read hit.
+                if llc_lru:
+                    o = llc_pols[sl]._order
+                    del o[wl]
+                    o[wl] = None
+                else:
+                    llc_pols[sl].on_access(wl)
+                cycles[c] = cycles[c] + g / width + lat123f
+                n_llchit[c] += 1
+                continue
+            # LLC read miss, served by memory. The clean LLC eviction
+            # back-invalidates every private copy (the inclusive
+            # hierarchy), which is a pure pop per holding core.
+            if vbl is not None:
+                ebn = (vbl.tag << llc_sbits) | sl
+                ea = ebn << bshift
+                vec = sharers.get(ea, 0)
+                c2 = 0
+                while vec:
+                    if vec & 1:
+                        se = ebn & l1_mask
+                        wA = l1_maps[c2][se].pop(ebn >> l1_bits, None)
+                        if wA is not None:
+                            if l1_ways[c2][se].pop(wA).dirty:
+                                mem_wr += 1
+                            n_pinv_l1[c2] += 1
+                        se = ebn & l2_mask
+                        wB = l2_maps[c2][se].pop(ebn >> l2_bits, None)
+                        if wB is not None:
+                            if l2_ways[c2][se].pop(wB).dirty:
+                                mem_wr += 1
+                            n_pinv_l2[c2] += 1
+                    vec >>= 1
+                    c2 += 1
+                sharers.pop(ea, None)
+                del llc_maps[sl][vbl.tag]
+                n_llc_evict += 1
+            wsl[wayl] = new_block(tl, state=shared, value_id=fill_vid)
+            llc_maps[sl][tl] = wayl
+            if llc_lru:
+                o = llc_pols[sl]._order
+                del o[wayl]
+                o[wayl] = None
+            else:
+                llc_pols[sl].on_fill(wayl)
+            n_mem[c] += 1
+            # Overlap-aware miss timing, exactly as the slow path.
+            now = cycles[c] + g / width
+            arrival = now + lat123f
+            mr = mem_ready_l[c]
+            if arrival - mr < runahead:
+                completion = (mr if mr >= arrival else arrival) + mem_interval
+            else:
+                completion = arrival + mem_latency
+            mem_ready_l[c] = completion
+            mem_bd += completion - now - lat123f
+            cycles[c] = completion
+            continue
+        # Fast path: L1 read miss, L2 read hit. Decide the L1 victim
+        # before mutating anything so the one ineligible case (a dirty
+        # victim that would cascade past the L2) can abort cleanly.
+        ws1 = l1_ways[c][s1]
+        vb = None
+        if len(ws1) < l1_assoc:
+            for way in range(l1_assoc):
+                if way not in ws1:
+                    break
+        else:
+            way = (next(iter(l1_pols[c][s1]._order)) if is_lru
+                   else l1_pols[c][s1].victim())
+            vb = ws1[way]
+            if vb.dirty:
+                vbn = (vb.tag << l1_bits) | s1
+                sv = vbn & l2_mask
+                wv = cm2[sv].get(vbn >> l2_bits)
+                if wv is None:
+                    # Dirty victim would cascade into the LLC.
+                    step(system, st, c, baddrs[p], False, approx_l[p],
+                         rids_l[p], vids_l[p], gaps_l[p])
+                    continue
+        # Commit: replay l1.access(miss) -> _fill exactly.
+        if vb is not None:
+            del m1[vb.tag]
+        vid = vids_l[p]
+        ws1[way] = new_block(t1, state=shared, value_id=vid)
+        m1[t1] = way
+        if is_lru:
+            o = l1_pols[c][s1]._order
+            del o[way]
+            o[way] = None
+        else:
+            l1_pols[c][s1].on_fill(way)
+        if vb is None:
+            n_fill_free[c] += 1
+        elif not vb.dirty:
+            n_fill_clean[c] += 1
+        else:
+            # _install_l1_victim: a write hit in the L2.
+            n_fill_dirty[c] += 1
+            b2 = l2_ways[c][sv][wv]
+            b2.dirty = True
+            b2.state = modified
+            if vb.value_id >= 0:
+                b2.value_id = vb.value_id
+            l2_pols[c][sv].on_access(wv)
+        # Demand L2 read hit.
+        if is_lru:
+            o = l2_pols[c][s2]._order
+            del o[w2]
+            o[w2] = None
+        else:
+            l2_pols[c][s2].on_access(w2)
+        a = baddrs[p]
+        sharers[a] = sharers.get(a, 0) | core_bit[c]
+        g = gaps_l[p]
+        comp_gaps += g
+        insns += g + 1
+        cycles[c] = cycles[c] + g / width + lat12f
+
+    # Flush the bulk counters. Every term is an integer (or a dyadic
+    # rational for the gap sum), so regrouping is exact.
+    fast_all = 0
+    l2_lat_hits = 0
+    llc_hits = 0
+    llc_misses = 0
+    for c in range(num_cores):
+        k1r = n_l1hit[c]
+        k2r = n_fill_free[c] + n_fill_clean[c] + n_fill_dirty[c]
+        k1w = n_l1whit[c]
+        k2w = n_wfill_free[c] + n_wfill_clean[c] + n_wfill_dirty[c]
+        k3 = n_llchit[c] + n_mem[c]  # private double-misses, same shape
+        fast_all += k1r + k2r + k1w + k2w + k3
+        l2_lat_hits += k2r + k3
+        llc_hits += n_llchit[c]
+        llc_misses += n_mem[c]
+        dr = n_fill_dirty[c]
+        dw = n_wfill_dirty[c]
+        dl = n_le1_dirty[c]
+        s1 = l1s[c].stats
+        s1.accesses += k1r + k2r + k1w + k2w + k3
+        s1.tag_lookups += k1r + k2r + k1w + k2w + k3
+        s1.read_accesses += k1r + k2r + k3
+        s1.write_accesses += k1w + k2w
+        s1.hits += k1r + k1w
+        s1.misses += k2r + k2w + k3
+        s1.fills += k2r + k2w + k3
+        s1.data_reads += k1r + k2r + k3
+        s1.data_writes += k1w + k2w
+        s1.evictions += (n_fill_clean[c] + dr + n_wfill_clean[c] + dw
+                         + n_le1_clean[c] + dl)
+        s1.writebacks += dr + dw + dl
+        s1.invalidations += n_pinv_l1[c]
+        s2 = l2s[c].stats
+        s2.accesses += k2r + dr + k2w + dw + k3 + dl
+        s2.tag_lookups += k2r + dr + k2w + dw + k3 + dl
+        s2.read_accesses += k2r + k3
+        s2.write_accesses += dr + k2w + dw + dl
+        s2.hits += k2r + dr + k2w + dw + dl
+        s2.misses += k3
+        s2.fills += k3
+        s2.data_reads += k2r + k3
+        s2.data_writes += dr + k2w + dw + dl
+        s2.evictions += n_le2[c]
+        s2.invalidations += n_pinv_l2[c]
+    if llc_hits or llc_misses:
+        ls = lcache.stats
+        ls.accesses += llc_hits + llc_misses
+        ls.tag_lookups += llc_hits + llc_misses
+        ls.read_accesses += llc_hits + llc_misses
+        ls.hits += llc_hits
+        ls.misses += llc_misses
+        ls.fills += llc_misses
+        ls.data_reads += llc_hits + llc_misses
+        ls.evictions += n_llc_evict
+        ls.back_invalidations += n_llc_evict
+        system.back_invalidations += n_llc_evict
+        system.memory.reads += llc_misses
+        system.memory.writes += mem_wr
+    bd = st.bd
+    bd["compute"] += comp_gaps / width
+    bd["l1"] += fast_all * l1_lat
+    bd["l2"] += l2_lat_hits * l2_lat
+    bd["llc"] += (llc_hits + llc_misses) * st.llc_lat
+    bd["memory"] += mem_bd
+    st.instructions += insns
+    return finalize(system, st)

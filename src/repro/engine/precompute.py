@@ -1,0 +1,77 @@
+"""Trace-level precomputation shared by the simulation engines.
+
+Two kinds of work are hoisted out of the per-access loop:
+
+* **Column conversion** — the trace's numpy columns are converted to
+  plain Python lists (scalar indexing into numpy arrays allocates a
+  numpy scalar per touch and dominated the seed profile) and block
+  addresses are pre-masked once for the whole trace.
+* **Map seeding** — every (region, value-id) pair the run can possibly
+  feed to the Doppelgänger map-generation path is enumerated from the
+  trace (initial memory image + write records) and its avg/range map is
+  computed once, in one :meth:`~repro.core.maps.MapGenerator.compute_batch`
+  call per region, instead of per cold miss. Seeding only pre-fills the
+  cache's memo — ``map_generations`` (the energy-model counter) still
+  counts every hardware computation, so stats are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+import numpy as np
+
+
+class TraceColumns(NamedTuple):
+    """Per-run plain-Python views of a trace, block-aligned."""
+
+    cores: List[int]
+    baddrs: List[int]  # byte addresses with offset bits stripped
+    writes: List[bool]
+    approx: List[bool]
+    region_ids: List[int]
+    value_ids: List[int]
+    gaps: List[int]
+    baddr_np: np.ndarray  # int64 block-aligned byte addresses
+
+
+def trace_columns(trace, block_size: int) -> TraceColumns:
+    """Convert a trace's columns for fast per-access iteration."""
+    baddr_np = trace.addrs & np.int64(~(block_size - 1))
+    return TraceColumns(
+        cores=trace.cores.tolist(),
+        baddrs=baddr_np.tolist(),
+        writes=trace.is_write.tolist(),
+        approx=trace.approx.tolist(),
+        region_ids=trace.region_ids.tolist(),
+        value_ids=trace.value_ids.tolist(),
+        gaps=trace.gaps.tolist(),
+        baddr_np=baddr_np,
+    )
+
+
+def map_seed_pairs(trace) -> List[Tuple[int, int]]:
+    """Reachable (region_id, value_id) map keys of a trace, sorted.
+
+    A block's value id only ever comes from the initial memory image or
+    from a write record, so the union of the two is a superset of every
+    key the Doppelgänger map memo can be asked for. Cached on the trace
+    (the set is identical for every config simulated over it).
+    """
+    cached = getattr(trace, "_map_seed_pairs", None)
+    if cached is not None:
+        return cached
+    pairs = set()
+    mask = trace.approx & (trace.value_ids >= 0)
+    if mask.any():
+        pairs.update(
+            zip(trace.region_ids[mask].tolist(), trace.value_ids[mask].tolist())
+        )
+    regions = trace.regions
+    for addr, vid in trace.initial_image.items():
+        rid = regions.find_id(addr)
+        if rid >= 0 and regions[rid].approx:
+            pairs.add((rid, vid))
+    result = sorted(pairs)
+    trace._map_seed_pairs = result
+    return result

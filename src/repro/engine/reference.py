@@ -1,0 +1,38 @@
+"""The reference engine: one slow-path step per trace record.
+
+This is the semantics oracle — the batched engine must match it
+bit-for-bit (``tests/test_engine_equivalence.py``). It still benefits
+from the trace-level precomputation (list columns, map seeding) because
+those are behavior-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.precompute import trace_columns
+from repro.engine.step import finalize, make_state, prepare, process_access
+
+
+def run(system, trace, limit: Optional[int] = None):
+    """Simulate ``trace`` (optionally only its first ``limit`` records)."""
+    st = make_state(system)
+    prepare(system, trace)
+    cols = trace_columns(trace, system.config.block_size)
+
+    cores = cols.cores
+    baddrs = cols.baddrs
+    writes = cols.writes
+    approxes = cols.approx
+    region_ids = cols.region_ids
+    value_ids = cols.value_ids
+    gaps = cols.gaps
+    n = len(baddrs) if limit is None else min(limit, len(baddrs))
+
+    step = process_access
+    for i in range(n):
+        step(
+            system, st, cores[i], baddrs[i], writes[i], approxes[i],
+            region_ids[i], value_ids[i], gaps[i],
+        )
+    return finalize(system, st)

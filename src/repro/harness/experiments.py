@@ -442,3 +442,28 @@ def summary_headline(ctx: ExperimentContext) -> Table:
         "runtime increase (%, geomean)", 100.0 * (geometric_mean(runtimes) - 1.0), 2.3
     )
     return table
+
+
+# ------------------------------------------------------------------ registry
+
+#: name -> (driver, needs_context), in paper order. The CLI and the
+#: public :func:`repro.run_experiment` both dispatch through this.
+EXPERIMENTS = {
+    "fig02": (fig02_threshold_similarity, True),
+    "table2": (table2_approx_footprint, True),
+    "fig07": (fig07_map_space_savings, True),
+    "fig08": (fig08_compression_comparison, True),
+    "fig09": (fig09_map_space, True),
+    "fig10": (fig10_data_array, True),
+    "fig11": (fig11_energy_reduction, True),
+    "fig12": (fig12_offchip_traffic, True),
+    "fig13": (fig13_area_reduction, False),
+    "fig14": (fig14_unidoppelganger, True),
+    "table3": (table3_hardware_cost, False),
+    "headline": (summary_headline, True),
+}
+
+
+def experiment_names() -> list:
+    """All experiment names, in paper order."""
+    return list(EXPERIMENTS)

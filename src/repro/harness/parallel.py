@@ -1,0 +1,160 @@
+"""Process-pool prefetch for the experiment harness (``--jobs N``).
+
+The per-(workload, config) pipeline — trace generation, simulation,
+energy accounting and error evaluation — is embarrassingly parallel:
+runs never share mutable state, only the memo dictionaries inside
+:class:`~repro.harness.runner.ExperimentContext`. This module fans the
+pairs a set of experiments will need out across worker processes and
+merges the finished :class:`~repro.harness.runner.RunRecord` objects
+back into the parent context's memo, so the (sequential) experiment
+drivers then find every simulation already cached.
+
+Determinism: each worker rebuilds its context from the same
+(seed, scale, engine) triple, so a run computed in a child is
+bit-identical to one computed in the parent; results are merged in
+task-submission order (workloads in context order, specs in plan
+order), and ``run_summaries`` additionally sorts by (workload,
+config) — a ``--jobs 4`` sweep therefore emits exactly the same
+tables and BENCH rows as ``--jobs 1``.
+
+Workers are spawned per workload (one task covers all of a workload's
+configs) so the expensive trace generation happens once per worker,
+mirroring the parent's memoization.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.runner import ConfigSpec, ExperimentContext, RunRecord
+from repro.obs import get_logger
+
+log = get_logger("harness.parallel")
+
+
+def plan_specs(experiment_names: Sequence[str]) -> Tuple[List[ConfigSpec], List[ConfigSpec]]:
+    """The (run specs, error specs) a set of experiments will request.
+
+    Mirrors the drivers in :mod:`repro.harness.experiments`: every
+    simulated experiment starts from the baseline LLC and sweeps the
+    configurations of its figure. Config-only experiments (fig13,
+    table3) and the snapshot analyses (fig02/07/08) need no
+    simulation prefetch.
+    """
+    from repro.harness.experiments import (
+        DATA_FRACTIONS,
+        MAP_BITS_SWEEP,
+        UNI_FRACTIONS,
+    )
+    from repro.harness.runner import baseline_spec, dopp_spec, uni_spec
+
+    runs: List[ConfigSpec] = []
+    errors: List[ConfigSpec] = []
+    for name in experiment_names:
+        if name == "table2":
+            runs += [baseline_spec()]
+        elif name == "fig09":
+            sweep = [dopp_spec(b, 0.25) for b in MAP_BITS_SWEEP]
+            runs += [baseline_spec()] + sweep
+            errors += sweep
+        elif name in ("fig10", "fig11", "fig12"):
+            sweep = [dopp_spec(14, f) for f in DATA_FRACTIONS]
+            runs += [baseline_spec()] + sweep
+            if name == "fig10":
+                errors += sweep
+        elif name == "fig14":
+            sweep = [uni_spec(14, f) for f in UNI_FRACTIONS]
+            runs += [baseline_spec()] + sweep
+            errors += sweep
+        elif name == "headline":
+            runs += [baseline_spec(), dopp_spec(14, 0.25)]
+    # Dedupe, preserving first-seen order (dict keys are ordered).
+    return list(dict.fromkeys(runs)), list(dict.fromkeys(errors))
+
+
+def _run_task(task: dict):
+    """Worker: simulate one workload under every requested config.
+
+    Runs in a child process; builds a fresh context (observability
+    disabled — sinks and registries don't cross process boundaries)
+    and returns picklable records only.
+    """
+    ctx = ExperimentContext(
+        seed=task["seed"],
+        scale=task["scale"],
+        workloads=[task["workload"]],
+        engine=task["engine"],
+    )
+    name = task["workload"]
+    runs = [(spec, ctx.run(name, spec)) for spec in task["run_specs"]]
+    errors = {spec: ctx.error(name, spec) for spec in task["error_specs"]}
+    return name, runs, errors
+
+
+def prefetch_runs(
+    ctx: ExperimentContext,
+    experiment_names: Sequence[str],
+    jobs: int,
+    run_specs: Optional[Sequence[ConfigSpec]] = None,
+    error_specs: Optional[Sequence[ConfigSpec]] = None,
+) -> int:
+    """Simulate everything ``experiment_names`` will need, in parallel.
+
+    Fans one task per workload (covering all its configs) across
+    ``jobs`` worker processes and merges the results into ``ctx``'s
+    memo dictionaries. Pairs already memoized are skipped. Returns the
+    number of (workload, config) simulations fetched.
+
+    ``run_specs`` / ``error_specs`` override the experiment-derived
+    plan (used by :func:`repro.api.simulate` callers and tests).
+    """
+    if run_specs is None or error_specs is None:
+        planned_runs, planned_errors = plan_specs(experiment_names)
+        run_specs = planned_runs if run_specs is None else list(run_specs)
+        error_specs = planned_errors if error_specs is None else list(error_specs)
+    tasks = []
+    for name in ctx.names:
+        need_runs = [s for s in run_specs if (name, s) not in ctx._runs]
+        need_errors = [
+            s
+            for s in error_specs
+            if s.kind != "baseline" and (name, s) not in ctx._errors
+        ]
+        if need_runs or need_errors:
+            tasks.append(
+                {
+                    "workload": name,
+                    "seed": ctx.seed,
+                    "scale": ctx.scale,
+                    "engine": ctx.engine,
+                    "run_specs": need_runs,
+                    "error_specs": need_errors,
+                }
+            )
+    if not tasks:
+        return 0
+    fetched = 0
+    workers = max(1, min(int(jobs), len(tasks)))
+    log.info(
+        "prefetching %d workload tasks across %d workers", len(tasks), workers
+    )
+    with ctx.obs.profiler.phase(f"parallel/jobs{workers}"):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_task, task) for task in tasks]
+            # Merge in submission order for deterministic memo order.
+            for future in futures:
+                name, runs, errors = future.result()
+                for spec, record in runs:
+                    ctx._runs[(name, spec)] = record
+                    fetched += 1
+                for spec, err in errors.items():
+                    ctx._errors[(name, spec)] = err
+    return fetched
+
+
+def merge_records(
+    ctx: ExperimentContext, records: Dict[Tuple[str, ConfigSpec], RunRecord]
+) -> None:
+    """Adopt externally computed records into a context's memo."""
+    ctx._runs.update(records)

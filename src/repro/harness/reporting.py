@@ -137,6 +137,10 @@ class Table:
             "notes": list(self.notes),
         }
 
+    #: Unified serialization name shared with ``SystemResult``,
+    #: ``EnergyReport``, ``ConfigSpec`` and ``RunRecord`` (docs/api.md).
+    to_dict = as_dict
+
     @classmethod
     def from_dict(cls, data: dict) -> "Table":
         """Rebuild a table serialized by :meth:`as_dict`."""

@@ -72,6 +72,15 @@ class ConfigSpec:
         frac = f"1/{round(1 / self.data_fraction)}" if self.data_fraction <= 0.5 else "3/4"
         return f"{self.kind}-{self.map_bits}bit-{frac}"
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form (see ``docs/api.md``)."""
+        return {
+            "kind": self.kind,
+            "map_bits": self.map_bits,
+            "data_fraction": self.data_fraction,
+            "label": self.label(),
+        }
+
     def build_llc(self, regions, size_factor: int = 1):
         """Instantiate the LLC adapter for this spec.
 
@@ -153,6 +162,22 @@ class RunRecord:
         """Simulated trace accesses per wall-clock second."""
         return self.accesses / (self.wall_ns / 1e9) if self.wall_ns else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form, nesting the unified result schemas.
+
+        ``config``/``system``/``energy`` serialize through
+        :meth:`ConfigSpec.to_dict`, ``SystemResult.to_dict`` and
+        ``EnergyReport.to_dict`` respectively (see ``docs/api.md``).
+        """
+        return {
+            "config": self.spec.to_dict(),
+            "system": self.system.to_dict(),
+            "energy": self.energy.to_dict(),
+            "sim_wall_s": self.wall_ns / 1e9,
+            "accesses": self.accesses,
+            "accesses_per_sec": self.accesses_per_sec,
+        }
+
 
 def env_scale(default: float = 1.0) -> float:
     """Dataset scale from ``REPRO_SCALE`` (default 1.0)."""
@@ -176,6 +201,9 @@ class ExperimentContext:
             counters are published into its metrics registry, and
             protocol events flow to its tracer. Defaults to the inert
             bundle.
+        engine: simulation engine name threaded into every
+            :meth:`run` (``"batched"``, ``"reference"`` or ``None``
+            for the :func:`repro.engine.get_engine` default).
     """
 
     def __init__(
@@ -184,9 +212,11 @@ class ExperimentContext:
         scale: Optional[float] = None,
         workloads=None,
         obs: Optional[Observability] = None,
+        engine: Optional[str] = None,
     ):
         self.obs = obs or Observability.disabled()
         self.log = get_logger("harness.runner")
+        self.engine = engine
         self.seed = env_seed() if seed is None else seed
         self.scale = env_scale() if scale is None else scale
         #: Structure sizes scale with the dataset (power-of-two snap)
@@ -248,7 +278,7 @@ class ExperimentContext:
                         self.obs.registry, f"sim.{name}.{label}"
                     )
                 start_ns = perf_counter_ns()
-                result = system.run(trace)
+                result = system.run(trace, engine=self.engine)
                 wall_ns = perf_counter_ns() - start_ns
             with self.obs.profiler.phase(f"energy/{name}/{label}"):
                 energy = self.energy_model.dynamic_energy(llc, cycles=result.cycles)
@@ -317,10 +347,15 @@ class ExperimentContext:
 
         Feeds ``results/json/BENCH_obs.json`` so the performance
         trajectory (sim wall time, accesses/sec, hit rates, error)
-        is chartable across PRs.
+        is chartable across PRs. Rows are sorted by (workload, config)
+        so a parallel ``--jobs`` prefetch and a sequential run emit
+        byte-identical summaries.
         """
         out = []
-        for (name, spec), rec in self._runs.items():
+        items = sorted(
+            self._runs.items(), key=lambda kv: (kv[0][0], kv[0][1].label())
+        )
+        for (name, spec), rec in items:
             sysres = rec.system
             out.append(
                 {
@@ -350,4 +385,5 @@ class ExperimentContext:
             "scale": self.scale,
             "size_factor": self.size_factor,
             "workloads": list(self.names),
+            "engine": self.engine or "batched",
         }

@@ -41,6 +41,11 @@ class LLCReply(NamedTuple):
     back_invalidations: tuple = ()
 
 
+#: Shared immutable replies for the two no-side-effect outcomes.
+_REPLY_HIT = LLCReply(True)
+_REPLY_MISS = LLCReply(False)
+
+
 class BaselineLLC:
     """Conventional shared LLC (2 MB, 16-way, LRU, inclusive)."""
 
@@ -62,7 +67,7 @@ class BaselineLLC:
     def read(self, addr: int, core: int, approx: bool, region_id: int) -> LLCReply:
         """Demand lookup; misses do not fill."""
         result = self.cache.access(addr, is_write=False, fill_on_miss=False)
-        return LLCReply(hit=result.hit)
+        return _REPLY_HIT if result.hit else _REPLY_MISS
 
     def fill(
         self,
@@ -101,7 +106,7 @@ class BaselineLLC:
         self.cache.stats.write_accesses += 1
         self.cache.stats.tag_lookups += 1
         self.cache.stats.data_writes += 1
-        return LLCReply(hit=True)
+        return _REPLY_HIT
 
     def energy_events(self) -> dict:
         """Access counts per physical structure, for the energy model."""
@@ -147,9 +152,9 @@ class SplitDoppelgangerLLC:
         """Route by the access's approximate bit (ISA support, Sec. 4.1)."""
         if approx:
             outcome = self.dopp.lookup(addr, is_write=False, core=core)
-            return LLCReply(hit=outcome.hit)
+            return _REPLY_HIT if outcome.hit else _REPLY_MISS
         result = self.precise.access(addr, is_write=False, fill_on_miss=False)
-        return LLCReply(hit=result.hit)
+        return _REPLY_HIT if result.hit else _REPLY_MISS
 
     def fill(
         self,
@@ -203,7 +208,7 @@ class SplitDoppelgangerLLC:
         self.precise.stats.write_accesses += 1
         self.precise.stats.tag_lookups += 1
         self.precise.stats.data_writes += 1
-        return LLCReply(hit=True)
+        return _REPLY_HIT
 
     def energy_events(self) -> dict:
         """Access counts per physical structure, for the energy model."""
@@ -226,6 +231,10 @@ class SplitDoppelgangerLLC:
         """Route protocol events of the Doppelgänger half to ``tracer``."""
         self.dopp.tracer = tracer
 
+    def seed_map_memo(self, pairs, values_table) -> int:
+        """Precompute map values for a trace (see engine precompute)."""
+        return self.dopp.seed_map_memo(pairs, values_table)
+
     def publish_metrics(self, registry, prefix: str = "llc") -> None:
         """Publish both halves' counters into a metrics registry."""
         self.precise.stats.publish(registry, f"{prefix}.precise")
@@ -245,7 +254,7 @@ class UnifiedDoppelgangerLLC:
     def read(self, addr: int, core: int, approx: bool, region_id: int) -> LLCReply:
         """Tag probe handles both kinds uniformly."""
         outcome = self.uni.lookup(addr, is_write=False, core=core)
-        return LLCReply(hit=outcome.hit)
+        return _REPLY_HIT if outcome.hit else _REPLY_MISS
 
     def fill(
         self,
@@ -296,6 +305,10 @@ class UnifiedDoppelgangerLLC:
     def attach_tracer(self, tracer) -> None:
         """Route protocol events of the unified cache to ``tracer``."""
         self.uni.tracer = tracer
+
+    def seed_map_memo(self, pairs, values_table) -> int:
+        """Precompute map values for a trace (see engine precompute)."""
+        return self.uni.seed_map_memo(pairs, values_table)
 
     def publish_metrics(self, registry, prefix: str = "llc") -> None:
         """Publish unified-cache counters into a metrics registry."""

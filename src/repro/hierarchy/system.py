@@ -100,6 +100,31 @@ class SystemResult(NamedTuple):
         """LLC demand miss rate."""
         return self.llc_misses / self.llc_accesses if self.llc_accesses else 0.0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (the ``system`` object of ``docs/api.md``).
+
+        Every serialized result — harness rows, ``results/json/*.json``,
+        ``BENCH_obs.json`` — nests this same shape.
+        """
+        return {
+            "cycles": self.cycles,
+            "per_core_cycles": list(self.per_core_cycles),
+            "instructions": self.instructions,
+            "llc_misses": self.llc_misses,
+            "llc_accesses": self.llc_accesses,
+            "llc_miss_rate": self.llc_miss_rate,
+            "mpki": self.mpki,
+            "dram_reads": self.dram_reads,
+            "dram_writes": self.dram_writes,
+            "traffic_bytes": self.traffic_bytes,
+            "coherence_invalidations": self.coherence_invalidations,
+            "back_invalidations": self.back_invalidations,
+            "wb_stall_cycles": self.wb_stall_cycles,
+            "l1_stats": self.l1_stats.as_dict(),
+            "l2_stats": self.l2_stats.as_dict(),
+            "stall_breakdown": dict(self.stall_breakdown),
+        }
+
 
 class System:
     """Four cores, two private cache levels, a shared LLC and DRAM.
@@ -204,14 +229,25 @@ class System:
         return stall
 
     def _purge_private(self, addr: int) -> None:
-        """Invalidate every private copy; dirty copies go to memory."""
-        for c in range(self.config.num_cores):
-            block = self.l1s[c].invalidate(addr)
-            if block is not None and block.dirty:
-                self.memory.write(addr)
-            block = self.l2s[c].invalidate(addr)
-            if block is not None and block.dirty:
-                self.memory.write(addr)
+        """Invalidate every private copy; dirty copies go to memory.
+
+        Only cores whose sharer bit is set can hold a copy: private
+        caches gain blocks solely through their own core's accesses
+        (which set the bit), and every event that removes the bit — a
+        back-invalidation or a remote store — also removes the copies.
+        """
+        vec = self._sharers.get(addr, 0)
+        c = 0
+        while vec:
+            if vec & 1:
+                block = self.l1s[c].invalidate(addr)
+                if block is not None and block.dirty:
+                    self.memory.write(addr)
+                block = self.l2s[c].invalidate(addr)
+                if block is not None and block.dirty:
+                    self.memory.write(addr)
+            vec >>= 1
+            c += 1
 
     def _l2_writeback(self, core: int, addr: int, value_id: int, now: float) -> float:
         """A dirty block left the L2 toward the (inclusive) LLC."""
@@ -275,153 +311,23 @@ class System:
 
     # ----------------------------------------------------------------- run
 
-    def run(self, trace: Trace, limit: Optional[int] = None) -> SystemResult:
-        """Simulate ``trace`` (optionally only its first ``limit`` records)."""
-        cfg = self.config
-        self._regions = trace.regions
-        self._values = trace.values
-        self._cur_value = dict(trace.initial_image)
+    def run(
+        self,
+        trace: Trace,
+        limit: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> SystemResult:
+        """Simulate ``trace`` (optionally only its first ``limit`` records).
 
-        block_mask = ~(cfg.block_size - 1)
-        width = float(cfg.issue_width)
-        l1_lat, l2_lat, llc_lat = cfg.l1_latency, cfg.l2_latency, cfg.llc_latency
+        The per-access semantics live in :mod:`repro.engine`; ``engine``
+        picks the implementation (``"batched"``, the default, or
+        ``"reference"`` — see :func:`repro.engine.get_engine`). Every
+        engine produces bit-identical results.
+        """
+        from repro.engine import get_engine
 
-        mem_interval = cfg.mem_overlap_interval
-        mem_ready = [0.0] * cfg.num_cores  # last miss completion per core
-
-        cores = trace.cores
-        addrs = trace.addrs
-        writes = trace.is_write
-        approxes = trace.approx
-        region_ids = trace.region_ids
-        value_ids = trace.value_ids
-        gaps = trace.gaps
-        n = len(trace) if limit is None else min(limit, len(trace))
-
-        cycles = self.cycles
-        bd = self.stall_breakdown
-        instructions = 0
-
-        for i in range(n):
-            core = cores[i]
-            addr = int(addrs[i]) & block_mask
-            is_write = bool(writes[i])
-            approx = bool(approxes[i])
-            region_id = int(region_ids[i])
-            value_id = int(value_ids[i])
-            gap = int(gaps[i])
-
-            instructions += gap + 1
-            now = cycles[core] + gap / width
-            bd["compute"] += gap / width
-            latency = float(l1_lat)
-            bd["l1"] += l1_lat
-
-            if is_write and value_id >= 0:
-                self._cur_value[addr] = value_id
-            if is_write:
-                coherence_cost = self._handle_store_coherence(core, addr)
-                latency += coherence_cost
-                bd["coherence"] += coherence_cost
-            else:
-                self._sharers[addr] = self._sharers.get(addr, 0) | (1 << core)
-
-            l1 = self.l1s[core]
-            res1 = l1.access(addr, is_write, value_id)
-            if not res1.hit:
-                if res1.evicted_block is not None and res1.writeback:
-                    wb_cost = self._install_l1_victim(
-                        core, res1.evicted_addr, res1.evicted_block.value_id, now
-                    )
-                    latency += wb_cost
-                    bd["writeback"] += wb_cost
-                l2 = self.l2s[core]
-                res2 = l2.access(addr, is_write, value_id)
-                if not res2.hit:
-                    if not is_write:
-                        latency += l2_lat
-                        bd["l2"] += l2_lat
-                    if res2.evicted_block is not None and res2.writeback:
-                        wb_cost = self._l2_writeback(
-                            core, res2.evicted_addr, res2.evicted_block.value_id, now
-                        )
-                        latency += wb_cost
-                        bd["writeback"] += wb_cost
-                    llc_reply = self.llc.read(addr, core, approx, region_id)
-                    if not is_write:
-                        latency += llc_lat
-                        bd["llc"] += llc_lat
-                    if not llc_reply.hit:
-                        if not is_write:
-                            # Overlap-aware miss penalty: an isolated
-                            # miss pays the full DRAM latency, but when
-                            # the core reaches its next miss within the
-                            # runahead window of the previous one
-                            # resolving, the OoO engine had already
-                            # issued it and the burst completes every
-                            # mem_interval cycles (MLP).
-                            arrival = now + latency
-                            if arrival - mem_ready[core] < cfg.runahead_window:
-                                completion = (
-                                    max(mem_ready[core], arrival) + mem_interval
-                                )
-                            else:
-                                completion = arrival + self.memory.latency
-                            mem_ready[core] = completion
-                            bd["memory"] += completion - now - latency
-                            latency = completion - now
-                        self.memory.read(addr)
-                        values = None
-                        fill_vid = self._cur_value.get(addr, -1)
-                        if approx:
-                            values, fill_vid = self._block_values(addr)
-                            if values is None:
-                                raise KeyError(
-                                    f"approximate block {addr:#x} has no tracked "
-                                    "values; register the region data in the trace"
-                                )
-                        fill_reply = self.llc.fill(
-                            addr, core, approx, region_id,
-                            value_id=fill_vid, values=values, dirty=False,
-                        )
-                        wb_cost = self._apply_reply(fill_reply, now, addr)
-                        latency += wb_cost
-                        bd["writeback"] += wb_cost
-                elif not is_write:
-                    latency += l2_lat
-                    bd["l2"] += l2_lat
-
-            if is_write:
-                cycles[core] = now + l1_lat
-            else:
-                cycles[core] = now + latency
-
-        per_core = [int(c) for c in cycles]
-        l1_stats = CacheStats()
-        for l1 in self.l1s:
-            l1_stats = l1_stats.merge(l1.stats)
-        l2_stats = CacheStats()
-        for l2 in self.l2s:
-            l2_stats = l2_stats.merge(l2.stats)
-
-        llc_misses = self.llc.miss_count()
-        llc_accesses = self._llc_accesses()
-        return SystemResult(
-            cycles=max(per_core) if per_core else 0,
-            per_core_cycles=per_core,
-            instructions=instructions,
-            llc_misses=llc_misses,
-            llc_accesses=llc_accesses,
-            dram_reads=self.memory.reads,
-            dram_writes=self.memory.writes,
-            traffic_bytes=self.memory.traffic_bytes,
-            coherence_invalidations=self.coherence_invalidations,
-            back_invalidations=self.back_invalidations,
-            wb_stall_cycles=self.wb_buffer.stall_cycles,
-            l1_stats=l1_stats,
-            l2_stats=l2_stats,
-            stall_breakdown=dict(self.stall_breakdown),
-        )
+        _, run_fn = get_engine(engine)
+        return run_fn(self, trace, limit)
 
     def publish_metrics(self, registry, prefix: str = "system") -> None:
         """Publish every structure's counters into a metrics registry.

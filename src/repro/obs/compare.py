@@ -1,0 +1,206 @@
+"""Diff two ``BENCH_obs.json`` summaries and flag regressions.
+
+Backs the ``repro compare`` subcommand (a ROADMAP item): after a
+change, run the same experiments twice and ask whether simulation got
+slower, caches got worse, or output error grew::
+
+    python -m repro.cli table2 --json-out results/before
+    ... hack hack hack ...
+    python -m repro.cli table2 --json-out results/after
+    python -m repro.cli compare results/before/BENCH_obs.json \\
+                                results/after/BENCH_obs.json
+
+Runs are joined on their (workload, config) pair; experiments on
+their name. Per metric, a *regression* is:
+
+* ``sim_wall_s`` / experiment ``wall_s`` — relative slowdown beyond
+  the threshold (``new > old * (1 + threshold)``);
+* ``l1_hit_rate`` / ``l2_hit_rate`` — absolute drop beyond the
+  threshold;
+* ``llc_miss_rate`` / ``error`` — absolute increase beyond the
+  threshold.
+
+Functional metrics (rates, error) are deterministic, so any movement
+is a real behaviour change; wall time is noisy, which is why the same
+threshold is applied *relatively* there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.output import load_json
+
+#: metric -> (kind, direction). ``relative`` compares (new-old)/old;
+#: ``absolute`` compares new-old. Direction +1 means "bigger is worse".
+_RUN_METRICS = (
+    ("sim_wall_s", "relative", +1),
+    ("l1_hit_rate", "absolute", -1),
+    ("l2_hit_rate", "absolute", -1),
+    ("llc_miss_rate", "absolute", +1),
+    ("error", "absolute", +1),
+)
+
+
+@dataclass
+class MetricDelta:
+    """One compared metric of one joined row."""
+
+    key: str  # "<workload>/<config>" or "experiment <name>"
+    metric: str
+    old: float
+    new: float
+    delta: float  # signed, in the metric's comparison units
+    regression: bool
+
+    def describe(self) -> str:
+        """One-line human-readable form."""
+        unit = "%" if self.metric.endswith(("_rate", "error")) else "s"
+        mark = "REGRESSION" if self.regression else "ok"
+        return (
+            f"{self.key:40s} {self.metric:14s} "
+            f"{self.old:10.4f} -> {self.new:10.4f}  [{mark}] ({unit})"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of :func:`compare_bench`."""
+
+    threshold: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: (workload, config) pairs present in only one summary.
+    unmatched_old: List[Tuple[str, str]] = field(default_factory=list)
+    unmatched_new: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        """Deltas beyond the threshold, worst-first."""
+        return sorted(
+            (d for d in self.deltas if d.regression),
+            key=lambda d: -abs(d.delta),
+        )
+
+    def render(self) -> str:
+        """Plain-text report (regressions first, then the full diff)."""
+        from repro.harness.reporting import Table
+
+        lines: List[str] = []
+        regs = self.regressions
+        table = Table(
+            f"BENCH comparison (threshold {self.threshold:g})",
+            ["run", "metric", "old", "new", "delta", "verdict"],
+            precision=4,
+        )
+        for d in sorted(self.deltas, key=lambda d: (d.key, d.metric)):
+            table.add_row(
+                d.key,
+                d.metric,
+                d.old,
+                d.new,
+                d.delta,
+                "REGRESSION" if d.regression else "ok",
+            )
+        if self.unmatched_old:
+            table.add_note(
+                "only in old: "
+                + ", ".join(f"{w}/{c}" for w, c in self.unmatched_old)
+            )
+        if self.unmatched_new:
+            table.add_note(
+                "only in new: "
+                + ", ".join(f"{w}/{c}" for w, c in self.unmatched_new)
+            )
+        lines.append(table.render())
+        lines.append("")
+        if regs:
+            lines.append(f"{len(regs)} regression(s):")
+            lines.extend("  " + d.describe() for d in regs)
+        else:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (unified ``to_dict`` schema)."""
+        return {
+            "threshold": self.threshold,
+            "regression_count": len(self.regressions),
+            "deltas": [vars(d) for d in self.deltas],
+            "unmatched_old": [list(p) for p in self.unmatched_old],
+            "unmatched_new": [list(p) for p in self.unmatched_new],
+        }
+
+
+def _index_runs(summary: dict) -> Dict[Tuple[str, str], dict]:
+    return {
+        (r.get("workload"), r.get("config")): r
+        for r in summary.get("runs", [])
+    }
+
+
+def _compare_metric(
+    key: str, metric: str, kind: str, direction: int,
+    old: Optional[float], new: Optional[float], threshold: float,
+) -> Optional[MetricDelta]:
+    if old is None or new is None:
+        return None
+    old = float(old)
+    new = float(new)
+    if kind == "relative":
+        delta = (new - old) / old if old else 0.0
+    else:
+        delta = new - old
+    regression = direction * delta > threshold
+    return MetricDelta(key, metric, old, new, delta, regression)
+
+
+def compare_bench(
+    old_path: str,
+    new_path: str,
+    threshold: float = 0.05,
+    wall_threshold: Optional[float] = None,
+) -> BenchComparison:
+    """Compare two BENCH summaries; see the module docstring for rules.
+
+    Args:
+        old_path: baseline ``BENCH_obs.json``.
+        new_path: candidate ``BENCH_obs.json``.
+        threshold: tolerance — relative for wall times, absolute for
+            hit/miss rates and error.
+        wall_threshold: separate tolerance for the (noisy) wall-time
+            metrics; defaults to ``threshold``. CI smoke jobs use a
+            loose wall threshold with a tight functional one.
+    """
+    if wall_threshold is None:
+        wall_threshold = threshold
+    old_summary = load_json(old_path)
+    new_summary = load_json(new_path)
+    result = BenchComparison(threshold=threshold)
+
+    old_runs = _index_runs(old_summary)
+    new_runs = _index_runs(new_summary)
+    result.unmatched_old = sorted(set(old_runs) - set(new_runs))
+    result.unmatched_new = sorted(set(new_runs) - set(old_runs))
+    for pair in sorted(set(old_runs) & set(new_runs)):
+        key = f"{pair[0]}/{pair[1]}"
+        for metric, kind, direction in _RUN_METRICS:
+            delta = _compare_metric(
+                key, metric, kind, direction,
+                old_runs[pair].get(metric), new_runs[pair].get(metric),
+                wall_threshold if kind == "relative" else threshold,
+            )
+            if delta is not None:
+                result.deltas.append(delta)
+
+    old_exps = old_summary.get("experiments", {})
+    new_exps = new_summary.get("experiments", {})
+    for name in sorted(set(old_exps) & set(new_exps)):
+        delta = _compare_metric(
+            f"experiment {name}", "wall_s", "relative", +1,
+            old_exps[name].get("wall_s"), new_exps[name].get("wall_s"),
+            wall_threshold,
+        )
+        if delta is not None:
+            result.deltas.append(delta)
+    return result

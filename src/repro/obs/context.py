@@ -26,6 +26,9 @@ class Observability:
         ring_capacity: attach an in-memory ring sink of this size
             (0 disables the ring; the CLI uses the ring for its
             end-of-run event summary).
+        trace_sample: emit one traced event in every ``trace_sample``
+            (``--trace-sample N``); lets full-scale runs keep
+            ``--trace-out`` on without drowning in events.
     """
 
     def __init__(
@@ -33,10 +36,11 @@ class Observability:
         enabled: bool = True,
         trace_path: Optional[str] = None,
         ring_capacity: int = 0,
+        trace_sample: int = 1,
     ):
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
-        self.tracer = Tracer()
+        self.tracer = Tracer(sample=trace_sample)
         self.ring: Optional[RingBufferSink] = None
         self.jsonl: Optional[JsonlFileSink] = None
         self.log = get_logger("obs")

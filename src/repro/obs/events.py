@@ -153,11 +153,21 @@ class Tracer:
 
     ``enabled`` is kept in sync with sink attachment so hot code can
     guard with ``if tracer is not None and tracer.enabled``.
+
+    Args:
+        sinks: initial sinks (more can be attached later).
+        sample: emit one event in every ``sample`` (1 = every event).
+            Sequence numbers keep counting *all* events, so a sampled
+            trace still reveals the true event volume — consecutive
+            ``seq`` values in the file differ by ``sample``.
     """
 
-    def __init__(self, sinks: Optional[List[EventSink]] = None):
+    def __init__(self, sinks: Optional[List[EventSink]] = None, sample: int = 1):
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
         self._sinks: List[EventSink] = list(sinks) if sinks else []
         self.enabled = bool(self._sinks)
+        self.sample = int(sample)
         self._seq = 0
         self._t0 = perf_counter_ns()
 
@@ -172,10 +182,17 @@ class Tracer:
         return list(self._sinks)
 
     def emit(self, kind: str, **fields) -> None:
-        """Emit one event; a no-op without sinks."""
+        """Emit one event; a no-op without sinks.
+
+        With ``sample > 1`` only every ``sample``-th event reaches the
+        sinks (the first one always does), but every call advances the
+        sequence counter.
+        """
         if not self.enabled:
             return
         self._seq += 1
+        if (self._seq - 1) % self.sample:
+            return
         event = Event(self._seq, perf_counter_ns() - self._t0, kind, fields)
         for sink in self._sinks:
             sink.emit(event)

@@ -52,7 +52,7 @@ def save_experiment_json(name: str, tables: Dict[str, object], directory: str) -
     """
     payload = {
         "experiment": name,
-        "tables": {key or "main": table.as_dict() for key, table in tables.items()},
+        "tables": {key or "main": table.to_dict() for key, table in tables.items()},
     }
     return write_json(os.path.join(directory, f"{name}.json"), payload)
 

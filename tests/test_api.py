@@ -1,0 +1,133 @@
+"""Tests for the stable public API (``repro.simulate`` & friends)."""
+
+import os
+import warnings
+
+import pytest
+
+import repro
+from repro.api import as_spec
+from repro.harness.runner import ConfigSpec, ExperimentContext, baseline_spec, dopp_spec, uni_spec
+
+SEED = 3
+SCALE = 0.05
+
+
+class TestAsSpec:
+    def test_none_is_baseline(self):
+        assert as_spec(None) == baseline_spec()
+
+    def test_shorthands(self):
+        assert as_spec("baseline") == baseline_spec()
+        assert as_spec("dopp") == dopp_spec()
+        assert as_spec("uni") == uni_spec()
+
+    def test_spec_passthrough(self):
+        spec = dopp_spec(12, 0.5)
+        assert as_spec(spec) is spec
+
+    def test_unknown_string(self):
+        with pytest.raises(ValueError, match="unknown config"):
+            as_spec("bogus")
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_spec(42)
+
+
+class TestSimulate:
+    def test_returns_run_record(self):
+        rec = repro.simulate("swaptions", seed=SEED, scale=SCALE)
+        assert rec.system.cycles > 0
+        assert rec.accesses > 0
+        assert rec.spec == baseline_spec()
+
+    def test_engines_bit_identical(self):
+        batched = repro.simulate("swaptions", "dopp", seed=SEED, scale=SCALE)
+        reference = repro.simulate(
+            "swaptions", "dopp", engine="reference", seed=SEED, scale=SCALE
+        )
+        assert batched.system == reference.system
+
+    def test_ctx_reuse_memoizes(self):
+        ctx = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+        first = repro.simulate("swaptions", ctx=ctx)
+        second = repro.simulate("swaptions", ctx=ctx)
+        assert first is second
+
+    def test_to_dict_schema(self):
+        rec = repro.simulate("swaptions", seed=SEED, scale=SCALE)
+        d = rec.to_dict()
+        assert set(d) == {
+            "config", "system", "energy", "sim_wall_s", "accesses",
+            "accesses_per_sec",
+        }
+        assert d["config"]["label"] == "baseline-2MB"
+        assert d["system"]["cycles"] == rec.system.cycles
+        assert d["config"] == rec.spec.to_dict()
+
+
+class TestRunExperiment:
+    def test_returns_tables(self):
+        tables = repro.run_experiment("table3")
+        assert list(tables) == [""]
+        assert "hardware cost" in tables[""].title
+
+    def test_json_dir(self, tmp_path):
+        repro.run_experiment("fig13", json_dir=str(tmp_path))
+        assert os.path.exists(tmp_path / "fig13.json")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            repro.run_experiment("fig99")
+
+    def test_simulated_experiment(self):
+        tables = repro.run_experiment(
+            "table2", seed=SEED, scale=SCALE, workloads=["swaptions"]
+        )
+        rows = tables[""].to_dict()["rows"]
+        assert rows[0][0] == "swaptions"
+
+
+class TestLazyExports:
+    def test_all_is_real(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_dir_covers_exports(self):
+        listing = dir(repro)
+        assert "simulate" in listing and "run_experiment" in listing
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_exported
+
+    def test_exports_resolve_to_canonical_objects(self):
+        assert repro.ConfigSpec is ConfigSpec
+        assert repro.baseline_spec is baseline_spec
+
+
+class TestDeprecationShim:
+    def test_old_cli_entry_still_works(self, tmp_path, capsys):
+        from repro.cli import run_experiment
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            wall = run_experiment("table3", None, None, json_dir=str(tmp_path))
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        # Old contract: prints the table, returns the wall time.
+        assert isinstance(wall, float)
+        assert "hardware cost" in capsys.readouterr().out
+        assert os.path.exists(tmp_path / "table3.json")
+
+    def test_new_cli_path_does_not_warn(self, tmp_path, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["table3", "--json-out", str(tmp_path)]) == 0
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )

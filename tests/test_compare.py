@@ -1,0 +1,132 @@
+"""Tests for ``repro compare`` (BENCH_obs.json regression diffing)."""
+
+import pytest
+
+from repro.cli import main
+from repro.obs.compare import compare_bench
+from repro.obs.output import BENCH_SCHEMA, write_json
+
+
+def _bench(runs=None, experiments=None):
+    return {
+        "schema": BENCH_SCHEMA,
+        "experiments": experiments or {},
+        "runs": runs or [],
+    }
+
+
+def _run_row(workload="swaptions", config="baseline-2MB", **over):
+    row = {
+        "workload": workload,
+        "config": config,
+        "sim_wall_s": 1.0,
+        "l1_hit_rate": 0.90,
+        "l2_hit_rate": 0.50,
+        "llc_miss_rate": 0.20,
+        "error": 0.01,
+    }
+    row.update(over)
+    return row
+
+
+@pytest.fixture
+def paths(tmp_path):
+    def write(name, summary):
+        return write_json(str(tmp_path / name), summary)
+
+    return write
+
+
+class TestCompareBench:
+    def test_identical_summaries_pass(self, paths):
+        old = paths("old.json", _bench([_run_row()]))
+        new = paths("new.json", _bench([_run_row()]))
+        cmp = compare_bench(old, new)
+        assert cmp.regressions == []
+        assert "no regressions" in cmp.render()
+
+    def test_wall_time_regression_is_relative(self, paths):
+        old = paths("old.json", _bench([_run_row(sim_wall_s=1.0)]))
+        new = paths("new.json", _bench([_run_row(sim_wall_s=1.2)]))
+        assert compare_bench(old, new, threshold=0.1).regressions
+        assert not compare_bench(old, new, threshold=0.5).regressions
+
+    def test_wall_threshold_overrides_for_wall_only(self, paths):
+        old = paths(
+            "old.json",
+            _bench([_run_row(sim_wall_s=1.0, l1_hit_rate=0.90)],
+                   experiments={"table2": {"wall_s": 1.0}}),
+        )
+        new = paths(
+            "new.json",
+            _bench([_run_row(sim_wall_s=5.0, l1_hit_rate=0.70)],
+                   experiments={"table2": {"wall_s": 5.0}}),
+        )
+        regs = compare_bench(
+            old, new, threshold=0.05, wall_threshold=1000
+        ).regressions
+        # Wall times tolerated; the functional drop still flags.
+        assert [d.metric for d in regs] == ["l1_hit_rate"]
+
+    def test_faster_is_not_a_regression(self, paths):
+        old = paths("old.json", _bench([_run_row(sim_wall_s=2.0)]))
+        new = paths("new.json", _bench([_run_row(sim_wall_s=1.0)]))
+        assert not compare_bench(old, new, threshold=0.05).regressions
+
+    def test_hit_rate_drop_is_absolute(self, paths):
+        old = paths("old.json", _bench([_run_row(l1_hit_rate=0.90)]))
+        new = paths("new.json", _bench([_run_row(l1_hit_rate=0.80)]))
+        regs = compare_bench(old, new, threshold=0.05).regressions
+        assert [d.metric for d in regs] == ["l1_hit_rate"]
+
+    def test_error_increase_flags(self, paths):
+        old = paths("old.json", _bench([_run_row(error=0.01)]))
+        new = paths("new.json", _bench([_run_row(error=0.20)]))
+        regs = compare_bench(old, new, threshold=0.05).regressions
+        assert [d.metric for d in regs] == ["error"]
+
+    def test_missing_error_is_skipped(self, paths):
+        old = paths("old.json", _bench([_run_row(error=None)]))
+        new = paths("new.json", _bench([_run_row(error=0.5)]))
+        assert not compare_bench(old, new).regressions
+
+    def test_unmatched_runs_reported(self, paths):
+        old = paths("old.json", _bench([_run_row(workload="jpeg")]))
+        new = paths("new.json", _bench([_run_row(workload="kmeans")]))
+        cmp = compare_bench(old, new)
+        assert cmp.unmatched_old == [("jpeg", "baseline-2MB")]
+        assert cmp.unmatched_new == [("kmeans", "baseline-2MB")]
+        assert cmp.deltas == []
+
+    def test_experiment_wall_times_compared(self, paths):
+        old = paths("old.json", _bench(experiments={"table2": {"wall_s": 1.0}}))
+        new = paths("new.json", _bench(experiments={"table2": {"wall_s": 3.0}}))
+        regs = compare_bench(old, new).regressions
+        assert regs and regs[0].key == "experiment table2"
+
+    def test_to_dict_roundtrips(self, paths):
+        old = paths("old.json", _bench([_run_row()]))
+        new = paths("new.json", _bench([_run_row(sim_wall_s=5.0)]))
+        d = compare_bench(old, new).to_dict()
+        assert d["regression_count"] == 1
+        assert any(x["metric"] == "sim_wall_s" for x in d["deltas"])
+
+
+class TestCompareCLI:
+    def test_exit_zero_without_regressions(self, paths, capsys):
+        old = paths("old.json", _bench([_run_row()]))
+        new = paths("new.json", _bench([_run_row()]))
+        assert main(["compare", old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_on_regression(self, paths, capsys):
+        old = paths("old.json", _bench([_run_row(sim_wall_s=1.0)]))
+        new = paths("new.json", _bench([_run_row(sim_wall_s=9.0)]))
+        assert main(["compare", old, new]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, paths):
+        old = paths("old.json", _bench([_run_row(sim_wall_s=1.0)]))
+        new = paths("new.json", _bench([_run_row(sim_wall_s=1.2)]))
+        assert main(["compare", old, new, "--threshold", "0.5"]) == 0
+        assert main(["compare", old, new, "--threshold", "0.1"]) == 1

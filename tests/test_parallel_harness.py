@@ -1,0 +1,105 @@
+"""Tests for the process-pool prefetch (``--jobs N``).
+
+The acceptance bar is determinism: a parallel prefetch must leave the
+context with exactly the records a sequential run would have computed,
+so every downstream table is identical.
+"""
+
+import pytest
+
+from repro.harness.parallel import plan_specs, prefetch_runs
+from repro.harness.runner import (
+    ExperimentContext,
+    baseline_spec,
+    dopp_spec,
+    uni_spec,
+)
+
+SEED = 3
+SCALE = 0.05
+WORKLOADS = ["swaptions", "kmeans"]
+
+
+class TestPlanSpecs:
+    def test_table2_needs_baseline_only(self):
+        runs, errors = plan_specs(["table2"])
+        assert runs == [baseline_spec()]
+        assert errors == []
+
+    def test_fig09_sweeps_map_bits(self):
+        runs, errors = plan_specs(["fig09"])
+        assert baseline_spec() in runs
+        assert dopp_spec(12, 0.25) in runs and dopp_spec(14, 0.25) in runs
+        assert errors == [dopp_spec(b, 0.25) for b in (12, 13, 14)]
+
+    def test_fig14_uses_uni_specs(self):
+        runs, errors = plan_specs(["fig14"])
+        assert uni_spec(14, 0.25) in runs
+        assert uni_spec(14, 0.75) in errors
+
+    def test_config_only_experiments_need_nothing(self):
+        assert plan_specs(["fig13", "table3", "fig02"]) == ([], [])
+
+    def test_dedup_across_experiments(self):
+        runs, _ = plan_specs(["table2", "headline", "fig10"])
+        assert runs.count(baseline_spec()) == 1
+
+
+class TestPrefetchRuns:
+    @pytest.fixture(scope="class")
+    def contexts(self):
+        seq = ExperimentContext(seed=SEED, scale=SCALE, workloads=WORKLOADS)
+        for name in WORKLOADS:
+            seq.run(name, baseline_spec())
+            seq.run(name, dopp_spec(14, 0.25))
+        par = ExperimentContext(seed=SEED, scale=SCALE, workloads=WORKLOADS)
+        fetched = prefetch_runs(
+            par, [], jobs=2,
+            run_specs=[baseline_spec(), dopp_spec(14, 0.25)],
+            error_specs=[],
+        )
+        assert fetched == 4
+        return seq, par
+
+    def test_same_pairs(self, contexts):
+        seq, par = contexts
+        assert set(seq._runs) == set(par._runs)
+
+    def test_bit_identical_results(self, contexts):
+        seq, par = contexts
+        for key, rec in seq._runs.items():
+            other = par._runs[key]
+            assert other.system == rec.system
+            assert other.energy == rec.energy
+            assert other.accesses == rec.accesses
+
+    def test_summaries_identical_modulo_wall_time(self, contexts):
+        seq, par = contexts
+
+        def strip(rows):
+            return [
+                {k: v for k, v in r.items()
+                 if k not in ("sim_wall_s", "accesses_per_sec")}
+                for r in rows
+            ]
+
+        assert strip(seq.run_summaries()) == strip(par.run_summaries())
+
+    def test_prefetched_pairs_are_memo_hits(self, contexts):
+        _, par = contexts
+        before = par._runs[("swaptions", baseline_spec())]
+        assert par.run("swaptions", baseline_spec()) is before
+
+    def test_second_prefetch_is_a_noop(self, contexts):
+        _, par = contexts
+        assert prefetch_runs(
+            par, [], jobs=2,
+            run_specs=[baseline_spec(), dopp_spec(14, 0.25)],
+            error_specs=[],
+        ) == 0
+
+    def test_experiment_plan_prefetch_with_errors(self):
+        ctx = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+        fetched = prefetch_runs(ctx, ["headline"], jobs=2)
+        assert fetched == 2
+        assert ("swaptions", dopp_spec(14, 0.25)) in ctx._runs

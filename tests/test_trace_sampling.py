@@ -1,0 +1,54 @@
+"""Tests for tracer sampling (``--trace-sample N``)."""
+
+import pytest
+
+from repro.obs import Observability, RingBufferSink, Tracer
+
+
+class TestTracerSampling:
+    def test_default_emits_everything(self):
+        ring = RingBufferSink(100)
+        tracer = Tracer([ring])
+        for _ in range(10):
+            tracer.emit("tag_insert", addr=1)
+        assert ring.total_emitted == 10
+
+    def test_one_in_n(self):
+        ring = RingBufferSink(1000)
+        tracer = Tracer([ring], sample=10)
+        for _ in range(100):
+            tracer.emit("tag_insert", addr=1)
+        assert ring.total_emitted == 10
+
+    def test_first_event_always_emitted(self):
+        ring = RingBufferSink(10)
+        tracer = Tracer([ring], sample=1000)
+        tracer.emit("tag_insert", addr=1)
+        assert ring.total_emitted == 1
+
+    def test_seq_counts_all_events(self):
+        ring = RingBufferSink(100)
+        tracer = Tracer([ring], sample=3)
+        for _ in range(9):
+            tracer.emit("tag_insert", addr=1)
+        assert [e.seq for e in ring.events] == [1, 4, 7]
+
+    def test_sampling_spans_kinds(self):
+        # The 1-in-N stream is global, not per-kind: alternating kinds
+        # under sample=2 keeps only one of them.
+        ring = RingBufferSink(100)
+        tracer = Tracer([ring], sample=2)
+        for i in range(10):
+            tracer.emit("tag_insert" if i % 2 == 0 else "tag_move", addr=i)
+        assert {e.kind for e in ring.events} == {"tag_insert"}
+
+    def test_invalid_sample_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample=0)
+
+    def test_observability_threads_sample(self):
+        obs = Observability(enabled=True, ring_capacity=64, trace_sample=4)
+        assert obs.tracer.sample == 4
+        for _ in range(8):
+            obs.tracer.emit("tag_insert", addr=1)
+        assert obs.ring.total_emitted == 2
