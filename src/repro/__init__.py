@@ -40,6 +40,12 @@ _LAZY_EXPORTS = {
     "System": "repro.hierarchy.system",
     "engine_names": "repro.engine",
     "get_engine": "repro.engine",
+    "FaultConfig": "repro.resilience.faults",
+    "FaultInjector": "repro.resilience.faults",
+    "ReproError": "repro.errors",
+    "ConfigError": "repro.errors",
+    "TraceFormatError": "repro.errors",
+    "SimulationFault": "repro.errors",
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -47,6 +53,13 @@ __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.api import as_spec, run_experiment, simulate  # noqa: F401
     from repro.engine import engine_names, get_engine  # noqa: F401
+    from repro.errors import (  # noqa: F401
+        ConfigError,
+        ReproError,
+        SimulationFault,
+        TraceFormatError,
+    )
+    from repro.resilience.faults import FaultConfig, FaultInjector  # noqa: F401
     from repro.harness.experiments import experiment_names  # noqa: F401
     from repro.harness.runner import (  # noqa: F401
         ConfigSpec,

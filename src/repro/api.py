@@ -68,6 +68,7 @@ def simulate(
     engine: str = "batched",
     seed: Optional[int] = None,
     scale: Optional[float] = None,
+    faults=None,
     ctx: Optional[ExperimentContext] = None,
 ) -> RunRecord:
     """Simulate one workload under one LLC configuration.
@@ -81,6 +82,11 @@ def simulate(
             bit-identical; see :mod:`repro.engine`.
         seed: data-generation seed (``REPRO_SEED`` / 7 by default).
         scale: dataset scale (``REPRO_SCALE`` / 1.0 by default).
+        faults: optional
+            :class:`~repro.resilience.faults.FaultConfig` — seeded
+            deterministic fault injection; the record then carries the
+            fault report in ``.faults`` / ``to_dict()["faults"]``. A
+            config that can never fault is treated as ``None``.
         ctx: reuse an existing context (its memo) instead of building
             a fresh one; ``seed``/``scale``/``engine`` are then
             ignored in favour of the context's.
@@ -91,6 +97,8 @@ def simulate(
         form via ``.to_dict()``.
     """
     spec = as_spec(config)
+    if faults is not None:
+        spec = spec.with_faults(faults)
     if ctx is None:
         ctx = ExperimentContext(
             seed=seed, scale=scale, workloads=[workload], engine=engine

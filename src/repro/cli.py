@@ -26,6 +26,19 @@ Observability (see ``docs/observability.md``)::
     python -m repro.cli report
     python -m repro.cli compare old/BENCH_obs.json new/BENCH_obs.json
 
+Resilience (see ``docs/robustness.md``)::
+
+    python -m repro.cli headline --fault-rate 1e-3 --fault-seed 3
+    python -m repro.cli experiments --jobs 4 --timeout 900 --retries 2 \
+        --checkpoint-dir ckpt/
+    python -m repro.cli experiments --jobs 4 --checkpoint-dir ckpt/ --resume
+    python -m repro.cli replay results/trace.npz
+
+Typed failures map to distinct exit codes — 2 for configuration
+errors, 3 for malformed trace files, 4 for simulation faults — with a
+one-line message on stderr; ``--log-level debug`` additionally prints
+the full traceback.
+
 ``--profile`` prints a per-phase timing breakdown and writes the event
 trace and metrics snapshot next to the JSON tables. Every experiment
 additionally serializes its tables to ``results/json/<name>.json`` and
@@ -37,12 +50,14 @@ summaries, exiting 1 on a regression.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
 import warnings
 from time import perf_counter_ns
 from typing import Dict, Optional
 
+from repro.errors import ConfigError, ReproError
 from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
 from repro.harness.experiments import experiment_names
 from repro.harness.runner import ExperimentContext
@@ -150,6 +165,49 @@ def _main_compare(argv) -> int:
     return 1 if comparison.regressions else 0
 
 
+def _main_replay(argv) -> int:
+    """The ``replay`` subcommand: simulate a saved ``.npz`` trace.
+
+    Exercises the hardened trace loader end to end: a missing,
+    truncated or version-skewed file surfaces as a
+    :class:`~repro.errors.TraceFormatError` (exit code 3) naming the
+    file and offending field.
+    """
+    from repro.harness.runner import ConfigSpec
+    from repro.hierarchy.system import System
+    from repro.trace.io import load_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="Simulate a trace saved with repro.trace.io.save_trace.",
+    )
+    parser.add_argument("trace", help="trace .npz file")
+    parser.add_argument(
+        "--config",
+        default="baseline",
+        choices=("baseline", "dopp", "uni"),
+        help="LLC organization to replay under (default baseline)",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=("batched", "reference"),
+        help="simulation engine (default: batched)",
+    )
+    args = parser.parse_args(argv)
+    trace = load_trace(args.trace)
+    spec = ConfigSpec(args.config)
+    llc = spec.build_llc(trace.regions)
+    system = System(llc)
+    result = system.run(trace, engine=args.engine)
+    print(f"replayed {trace.name}: {len(trace)} accesses under {spec.label()}")
+    print(
+        f"  cycles={result.cycles} llc_miss_rate={result.llc_miss_rate:.4f} "
+        f"traffic_bytes={result.traffic_bytes}"
+    )
+    return 0
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
@@ -181,6 +239,83 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="prefetch simulations across N worker processes (default 1)",
+    )
+    resil = parser.add_argument_group(
+        "resilience", "crash-tolerant sweeps (docs/robustness.md)"
+    )
+    resil.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds allowed per parallel workload task before its "
+        "worker is killed and retried (default: no timeout)",
+    )
+    resil.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="times to retry failed/timed-out parallel tasks with "
+        "exponential backoff (default 0)",
+    )
+    resil.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal each completed (workload, config) result here so "
+        "an interrupted --jobs sweep can be resumed",
+    )
+    resil.add_argument(
+        "--resume",
+        action="store_true",
+        help="load completed results from --checkpoint-dir before "
+        "simulating (skips finished pairs; byte-identical output)",
+    )
+    faults = parser.add_argument_group(
+        "fault injection", "deterministic seeded faults (docs/robustness.md)"
+    )
+    faults.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="per-read probability of a transient bit-flip fault "
+        "(default 0 = off)",
+    )
+    faults.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="fault-stream seed (independent of --seed; default 0)",
+    )
+    faults.add_argument(
+        "--fault-flip-bits",
+        type=int,
+        default=1,
+        help="bits flipped per faulty read (default 1)",
+    )
+    faults.add_argument(
+        "--fault-burst-rate",
+        type=float,
+        default=0.0,
+        help="per-read probability of starting a fault burst (default 0)",
+    )
+    faults.add_argument(
+        "--fault-burst-len",
+        type=int,
+        default=8,
+        help="reads per fault burst (default 8)",
+    )
+    faults.add_argument(
+        "--fault-stuck-bits",
+        type=int,
+        default=0,
+        help="permanently stuck bit positions in the approximate data "
+        "array (default 0)",
+    )
+    faults.add_argument(
+        "--fault-targets",
+        nargs="*",
+        default=["approx_data"],
+        help="structures to inject into: approx_data, llc, dram "
+        "(default: approx_data)",
     )
     parser.add_argument("--out", default=None, help="directory to save text tables")
     parser.add_argument(
@@ -220,11 +355,55 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fault_config(args):
+    """Build the ``--fault-*`` group's FaultConfig (None when off).
+
+    Validation lives in
+    :class:`~repro.resilience.faults.FaultConfig` itself — a bad knob
+    raises :class:`~repro.errors.ConfigError` naming the field, which
+    :func:`main` maps to exit code 2.
+    """
+    if not (args.fault_rate or args.fault_burst_rate or args.fault_stuck_bits):
+        return None
+    from repro.resilience.faults import FaultConfig
+
+    return FaultConfig(
+        seed=args.fault_seed,
+        read_rate=args.fault_rate,
+        flip_bits=args.fault_flip_bits,
+        burst_rate=args.fault_burst_rate,
+        burst_len=args.fault_burst_len,
+        stuck_bits=args.fault_stuck_bits,
+        targets=tuple(args.fault_targets),
+    )
+
+
 def main(argv=None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Typed :class:`~repro.errors.ReproError` failures are caught here —
+    the only place — and mapped to their exit codes (2 config, 3 trace,
+    4 simulation) with a one-line stderr message. With the repro
+    logger at DEBUG the full traceback is printed first.
+    """
     argv = sys.argv[1:] if argv is None else list(argv)
+    try:
+        return _dispatch(argv)
+    except ReproError as exc:
+        if get_logger("cli").isEnabledFor(logging.DEBUG):
+            import traceback
+
+            traceback.print_exc()
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+
+
+def _dispatch(argv) -> int:
+    """Route subcommands and run the experiment pipeline."""
     if argv and argv[0] == "compare":
         return _main_compare(argv[1:])
+    if argv and argv[0] == "replay":
+        return _main_replay(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -265,6 +444,23 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.trace_sample < 1:
         parser.error(f"--trace-sample must be >= 1, got {args.trace_sample}")
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error(f"--timeout must be positive, got {args.timeout}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if args.resume and not args.checkpoint_dir:
+        parser.error("--resume requires --checkpoint-dir")
+    if args.workloads:
+        from repro.workloads.registry import workload_names
+
+        known = workload_names()
+        unknown = [w for w in args.workloads if w not in known]
+        if unknown:
+            raise ConfigError(
+                f"unknown workload(s) {unknown}; choose from {known}",
+                field="workloads",
+            )
+    faults = _fault_config(args)
 
     enabled = args.profile or bool(args.trace_out) or bool(args.metrics_out)
     trace_path = args.trace_out
@@ -289,7 +485,19 @@ def main(argv=None) -> int:
             workloads=args.workloads,
             obs=obs,
             engine=args.engine,
+            faults=faults,
         )
+        journal = None
+        if args.checkpoint_dir:
+            from repro.resilience.checkpoint import open_journal
+
+            journal = open_journal(args.checkpoint_dir, ctx)
+            if args.resume:
+                runs, errors = journal.load_into(ctx)
+                print(
+                    f"[resumed {runs} runs and {errors} errors from "
+                    f"{args.checkpoint_dir}]"
+                )
         if args.jobs > 1:
             from repro.harness.parallel import prefetch_runs
 
@@ -298,7 +506,10 @@ def main(argv=None) -> int:
                     "[note: --jobs simulates in worker processes; per-access "
                     "traces/metrics are not captured for prefetched runs]"
                 )
-            fetched = prefetch_runs(ctx, names, args.jobs)
+            fetched = prefetch_runs(
+                ctx, names, args.jobs,
+                timeout=args.timeout, retries=args.retries, journal=journal,
+            )
             if fetched:
                 print(f"[prefetched {fetched} runs across {args.jobs} jobs]")
     for name in names:

@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.maps import MapConfig
+from repro.errors import ConfigError
 
 
 def _check_pow2(value: int, label: str) -> None:
     if value <= 0 or value & (value - 1):
-        raise ValueError(f"{label} must be a positive power of two, got {value}")
+        raise ConfigError(
+            f"must be a positive power of two, got {value}", field=label
+        )
 
 
 @dataclass(frozen=True)
@@ -48,9 +51,16 @@ class DoppelgangerConfig:
         _check_pow2(self.data_ways, "data_ways")
         _check_pow2(self.block_size, "block_size")
         if not 0 < self.data_fraction <= 1:
-            raise ValueError(f"data_fraction must be in (0, 1], got {self.data_fraction}")
+            raise ConfigError(
+                f"must be in (0, 1], got {self.data_fraction}",
+                field="data_fraction",
+            )
         if self.data_entries < self.data_ways:
-            raise ValueError("data array smaller than one set")
+            raise ConfigError(
+                f"data array smaller than one set "
+                f"({self.data_entries} entries < {self.data_ways} ways)",
+                field="data_fraction",
+            )
 
     @property
     def data_entries(self) -> int:
@@ -101,9 +111,16 @@ class UniDoppelgangerConfig:
         _check_pow2(self.data_ways, "data_ways")
         _check_pow2(self.block_size, "block_size")
         if not 0 < self.data_fraction <= 1:
-            raise ValueError(f"data_fraction must be in (0, 1], got {self.data_fraction}")
+            raise ConfigError(
+                f"must be in (0, 1], got {self.data_fraction}",
+                field="data_fraction",
+            )
         if self.data_entries < self.data_ways:
-            raise ValueError("data array smaller than one set")
+            raise ConfigError(
+                f"data array smaller than one set "
+                f"({self.data_entries} entries < {self.data_ways} ways)",
+                field="data_fraction",
+            )
 
     @property
     def data_entries(self) -> int:

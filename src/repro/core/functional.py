@@ -102,6 +102,13 @@ class BlockApproximator:
         data_entries: data-array blocks.
         ways: data-array associativity.
         block_size: line size in bytes.
+        faults: optional :class:`~repro.resilience.faults.FaultInjector`
+            modelling unprotected approximate storage: blocks arriving
+            from DRAM (``dram`` target) and canonical values read from
+            the data array (``approx_data`` target, including stuck-at
+            cells) are silently corrupted before the application sees
+            them. Decisions are counter-based, so the same trace order
+            yields the same corruptions on every run.
     """
 
     def __init__(
@@ -110,11 +117,13 @@ class BlockApproximator:
         data_entries: int = 4096,
         ways: int = 16,
         block_size: int = 64,
+        faults=None,
     ):
         self.map_config = map_config or MapConfig()
         self.block_size = block_size
         self.store = FunctionalDoppelganger(data_entries, ways)
         self._generators: Dict[str, MapGenerator] = {}
+        self.faults = faults
 
     def _generator(self, region: Region) -> MapGenerator:
         gen = self._generators.get(region.name)
@@ -142,17 +151,32 @@ class BlockApproximator:
         elems = region.elements_per_block(self.block_size)
         n_full = len(flat) // elems
 
+        fi = self.faults
         out = flat.astype(np.float64, copy=True)
         if n_full:
             blocks = out[: n_full * elems].reshape(n_full, elems)
             maps = gen.compute_batch(blocks)
             for i in range(n_full):
-                blocks[i] = self.store.access(region.dtype, int(maps[i]), blocks[i])
+                blk = blocks[i]
+                if fi is not None:
+                    # The fill arriving from DRAM may already be bad
+                    # (map generation saw the line the memory sent).
+                    blk = fi.corrupt("dram", blk)
+                canon = self.store.access(region.dtype, int(maps[i]), blk)
+                if fi is not None:
+                    # Reading the canonical block out of the
+                    # unprotected data array: stuck-at cells always,
+                    # transient flips per the configured rates.
+                    canon = fi.corrupt("approx_data", canon)
+                blocks[i] = canon
         rem = len(flat) - n_full * elems
         if rem:
             tail = out[n_full * elems :]
             map_value = gen.compute(tail)
-            canon = self.store.access(region.dtype, map_value, tail)
+            blk = fi.corrupt("dram", tail) if fi is not None else tail
+            canon = self.store.access(region.dtype, map_value, blk)
+            if fi is not None:
+                canon = fi.corrupt("approx_data", canon)
             out[n_full * elems :] = canon[:rem]
 
         if np.issubdtype(dtype, np.integer):

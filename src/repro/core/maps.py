@@ -27,6 +27,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.trace.record import DTYPE_INFO, DType
 
 
@@ -47,9 +48,14 @@ class MapConfig:
 
     def __post_init__(self):
         if self.bits < 0:
-            raise ValueError(f"map bits must be non-negative, got {self.bits}")
+            raise ConfigError(
+                f"map bits must be non-negative, got {self.bits}", field="bits"
+            )
         if not (self.use_average or self.use_range):
-            raise ValueError("at least one hash function must be enabled")
+            raise ConfigError(
+                "at least one hash function must be enabled",
+                field="use_average/use_range",
+            )
 
     @property
     def range_keep_bits(self) -> int:

@@ -57,9 +57,18 @@ from repro.engine.step import finalize, make_state, prepare, process_access
 #: path may peek at the victim before deciding to commit or abort.
 _PURE_VICTIM_POLICIES = ("lru", "fifo", "plru")
 
+#: Test seam for the resilience layer: when set, called as
+#: ``_FAIL_HOOK(system, trace)`` at the top of :func:`run` so the
+#: harness's batched-to-reference fallback can be exercised with a
+#: synthetic failure (see ``tests/test_resilience.py``). Always None
+#: in production.
+_FAIL_HOOK = None
+
 
 def run(system, trace, limit: Optional[int] = None):
     """Simulate ``trace``, bit-identically to the reference engine."""
+    if _FAIL_HOOK is not None:
+        _FAIL_HOOK(system, trace)
     cfg = system.config
     width_i = cfg.issue_width
     if width_i & (width_i - 1) or cfg.policy not in _PURE_VICTIM_POLICIES:
@@ -102,8 +111,10 @@ def run(system, trace, limit: Optional[int] = None):
     # The LLC fast paths need direct access to a conventional
     # (single-array, approx-oblivious) LLC whose victim choice is a
     # pure query; Doppelgänger organizations take the slow path on
-    # every private miss.
-    llc_plain = isinstance(system.llc, BaselineLLC)
+    # every private miss. Fault injection decides per LLC/DRAM read,
+    # so those reads must all reach the slow path's hooks — the private
+    # L1/L2 fast paths never touch a fault site and stay eligible.
+    llc_plain = isinstance(system.llc, BaselineLLC) and st.faults is None
     if llc_plain:
         lcache = system.llc.cache
         llc_plain = (lcache.policy_name in _PURE_VICTIM_POLICIES

@@ -25,7 +25,7 @@ class RunState:
         "cycles", "bd", "mem_ready", "width",
         "l1_lat", "l2_lat", "llc_lat",
         "mem_interval", "runahead", "mem_latency",
-        "instructions",
+        "instructions", "faults", "approx_llc",
     )
 
 
@@ -44,6 +44,13 @@ def make_state(system) -> RunState:
     st.runahead = cfg.runahead_window
     st.mem_latency = system.memory.latency
     st.instructions = 0
+    st.faults = system.fault_injector
+    # Silent (unprotected) faults only exist in the approximate
+    # organizations: a baseline LLC stores approximate lines in its
+    # ordinary ECC-protected array, so every fault there is detected.
+    from repro.hierarchy.llc import BaselineLLC
+
+    st.approx_llc = not isinstance(system.llc, BaselineLLC)
     return st
 
 
@@ -120,6 +127,30 @@ def process_access(
             if not is_write:
                 latency += st.llc_lat
                 bd["llc"] += st.llc_lat
+            fi = st.faults
+            if fi is not None and llc_reply.hit and not is_write:
+                # Resilience layer: a demand read returned data from a
+                # possibly-faulty structure. Precise structures are
+                # ECC-protected — a detected fault refetches the line
+                # from DRAM (full latency + traffic, never wrong);
+                # the approximate data array is unprotected — a fault
+                # is silent here (counted; its value corruption is
+                # modelled in the functional error path).
+                if approx and st.approx_llc:
+                    if fi.silent("approx_data") and system.tracer is not None:
+                        system.tracer.emit(
+                            "fault_injected",
+                            site="approx_data", addr=addr, detected=False,
+                        )
+                elif fi.detected("llc"):
+                    system.memory.read(addr)
+                    latency += st.mem_latency
+                    bd["memory"] += st.mem_latency
+                    if system.tracer is not None:
+                        system.tracer.emit(
+                            "fault_injected",
+                            site="llc", addr=addr, detected=True,
+                        )
             if not llc_reply.hit:
                 if not is_write:
                     # Overlap-aware miss penalty: an isolated miss pays
@@ -139,6 +170,27 @@ def process_access(
                     bd["memory"] += completion - now - latency
                     latency = completion - now
                 system.memory.read(addr)
+                if fi is not None:
+                    # A DRAM transfer can fault too: precise lines are
+                    # ECC-checked and retried (extra traffic +
+                    # latency); approximate fills arrive silently
+                    # corrupted (functional path models the values).
+                    if approx and st.approx_llc:
+                        if fi.silent("dram") and system.tracer is not None:
+                            system.tracer.emit(
+                                "fault_injected",
+                                site="dram", addr=addr, detected=False,
+                            )
+                    elif fi.detected("dram"):
+                        system.memory.read(addr)
+                        if not is_write:
+                            latency += st.mem_latency
+                            bd["memory"] += st.mem_latency
+                        if system.tracer is not None:
+                            system.tracer.emit(
+                                "fault_injected",
+                                site="dram", addr=addr, detected=True,
+                            )
                 values = None
                 fill_vid = system._cur_value.get(addr, -1)
                 if approx:

@@ -47,6 +47,36 @@ MAP_BITS_SWEEP = (12, 13, 14)
 DATA_FRACTIONS = (0.5, 0.25, 0.125)
 #: uniDoppelgänger sweep of Figs. 13-14 (fractions of 32 K blocks).
 UNI_FRACTIONS = (0.75, 0.5, 0.25)
+#: Per-read fault probabilities of the resilience sweep. The zero rate
+#: is deliberate: it normalizes to the fault-free spec, pinning the
+#: "zero-rate == disabled" identity in every faultsweep run.
+FAULT_RATE_SWEEP = (0.0, 1e-4, 1e-3, 1e-2)
+#: Fault-stream seed of the sweep (fixed: the sweep varies rate only).
+FAULT_SEED = 11
+
+
+def fault_config(rate: float) -> "FaultConfig":
+    """The sweep's fault model at one per-read rate.
+
+    Two-bit transient flips on every read of the unprotected structures
+    — the approximate data array and DRAM transfers of approximate
+    lines (precise DRAM lines stay ECC-protected and only pay refetch
+    latency).
+    """
+    from repro.resilience.faults import FaultConfig
+
+    return FaultConfig(
+        seed=FAULT_SEED, read_rate=rate, flip_bits=2,
+        targets=("approx_data", "dram"),
+    )
+
+
+def faultsweep_specs() -> list:
+    """The base Doppelgänger config under each sweep fault rate."""
+    return [
+        dopp_spec(14, 0.25).with_faults(fault_config(r))
+        for r in FAULT_RATE_SWEEP
+    ]
 
 
 def _snapshot(ctx: ExperimentContext, name: str) -> LLCSnapshot:
@@ -444,6 +474,64 @@ def summary_headline(ctx: ExperimentContext) -> Table:
     return table
 
 
+# --------------------------------------------------------------- faultsweep
+
+
+def faultsweep_resilience(ctx: ExperimentContext) -> Dict[str, Table]:
+    """Resilience sweep: output quality and cost vs injected fault rate.
+
+    The base (14-bit, 1/4 data array) Doppelgänger runs with seeded
+    transient bit flips injected into its unprotected structures (the
+    approximate data array and approximate DRAM transfers) at the
+    rates of :data:`FAULT_RATE_SWEEP`. Three views:
+
+    * ``error`` — application output error per rate (the quality cost
+      of running approximate storage without ECC);
+    * ``runtime`` — runtime normalized to the fault-free baseline LLC
+      (detected faults on precise DRAM lines refetch, so the timing
+      cost also grows with rate);
+    * ``injected`` — silent faults the timing simulation counted, the
+      determinism anchor: same seed, same counts, every run.
+    """
+    rates = FAULT_RATE_SWEEP
+    specs = {r: spec for r, spec in zip(rates, faultsweep_specs())}
+    cols = [f"rate {r:g}" for r in rates]
+    err = Table(
+        "Faultsweep: output error vs per-read fault rate (14-bit, 1/4 array)",
+        ["workload"] + cols,
+    )
+    run = Table(
+        "Faultsweep: normalized runtime vs per-read fault rate",
+        ["workload"] + cols,
+    )
+    injected = Table(
+        "Faultsweep: silent faults injected (timing simulation)",
+        ["workload"] + cols,
+        precision=0,
+    )
+    runtime_cols = {r: [] for r in rates}
+    for name in ctx.names:
+        err.add_row(name, *[ctx.error(name, specs[r]) for r in rates])
+        runtimes = [ctx.normalized_runtime(name, specs[r]) for r in rates]
+        run.add_row(name, *runtimes)
+        for r, v in zip(rates, runtimes):
+            runtime_cols[r].append(v)
+        counts = []
+        for r in rates:
+            rec = ctx.run(name, specs[r])
+            counts.append(
+                sum(s["faults"] for s in rec.faults["sites"].values())
+                if rec.faults is not None
+                else 0
+            )
+        injected.add_row(name, *counts)
+    run.add_row("geomean", *[geometric_mean(runtime_cols[r]) for r in rates])
+    err.add_note("rate 0 is the fault-free config (zero-rate == disabled)")
+    injected.add_note("counts are deterministic in (seed, rate): see "
+                      "docs/robustness.md")
+    return {"error": err, "runtime": run, "injected": injected}
+
+
 # ------------------------------------------------------------------ registry
 
 #: name -> (driver, needs_context), in paper order. The CLI and the
@@ -461,6 +549,7 @@ EXPERIMENTS = {
     "fig14": (fig14_unidoppelganger, True),
     "table3": (table3_hardware_cost, False),
     "headline": (summary_headline, True),
+    "faultsweep": (faultsweep_resilience, True),
 }
 
 

@@ -20,15 +20,29 @@ tables and BENCH rows as ``--jobs 1``.
 Workers are spawned per workload (one task covers all of a workload's
 configs) so the expensive trace generation happens once per worker,
 mirroring the parent's memoization.
+
+Resilience (``docs/robustness.md``): a worker that dies (OOM kill,
+segfault) or exceeds ``timeout`` no longer hangs or poisons the whole
+sweep — the pool is torn down, finished results are kept, and the
+failed workloads are retried up to ``retries`` times with exponential
+backoff; the final failure is a typed
+:class:`~repro.errors.SimulationFault` naming every (workload, config)
+that could not be computed. An optional
+:class:`~repro.resilience.checkpoint.SweepJournal` persists each
+merged record so an interrupted sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import SimulationFault
 from repro.harness.runner import ConfigSpec, ExperimentContext, RunRecord
-from repro.obs import get_logger
+from repro.obs import EVENT_WORKER_RETRY, get_logger
 
 log = get_logger("harness.parallel")
 
@@ -46,6 +60,7 @@ def plan_specs(experiment_names: Sequence[str]) -> Tuple[List[ConfigSpec], List[
         DATA_FRACTIONS,
         MAP_BITS_SWEEP,
         UNI_FRACTIONS,
+        faultsweep_specs,
     )
     from repro.harness.runner import baseline_spec, dopp_spec, uni_spec
 
@@ -69,6 +84,10 @@ def plan_specs(experiment_names: Sequence[str]) -> Tuple[List[ConfigSpec], List[
             errors += sweep
         elif name == "headline":
             runs += [baseline_spec(), dopp_spec(14, 0.25)]
+        elif name == "faultsweep":
+            sweep = faultsweep_specs()
+            runs += [baseline_spec()] + sweep
+            errors += sweep
     # Dedupe, preserving first-seen order (dict keys are ordered).
     return list(dict.fromkeys(runs)), list(dict.fromkeys(errors))
 
@@ -78,7 +97,9 @@ def _run_task(task: dict):
 
     Runs in a child process; builds a fresh context (observability
     disabled — sinks and registries don't cross process boundaries)
-    and returns picklable records only.
+    and returns picklable records only. Specs arrive with their fault
+    configs already resolved by the parent, so a worker's memo keys
+    match the parent's exactly.
     """
     ctx = ExperimentContext(
         seed=task["seed"],
@@ -92,12 +113,82 @@ def _run_task(task: dict):
     return name, runs, errors
 
 
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if its workers are wedged.
+
+    ``shutdown(wait=True)`` would join workers that may never exit (the
+    original hang this module had on a worker death); instead cancel
+    queued work and terminate any process still alive. The process
+    handles must be snapshotted first: ``shutdown`` drops the pool's
+    ``_processes`` dict even with ``wait=False``.
+    """
+    procs = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():  # ignored SIGTERM: escalate
+            proc.kill()
+            proc.join(timeout=5)
+
+
+def _run_round(tasks: List[dict], workers: int, timeout: Optional[float]):
+    """Run one batch of tasks; returns ``(completed, failed)``.
+
+    ``completed`` holds ``(task, worker result)`` pairs; ``failed``
+    holds ``(task, reason)`` pairs. A worker death or timeout aborts
+    the round: results already finished are kept, everything else is
+    reported failed so the caller can retry it in a fresh pool.
+    """
+    completed: List[Tuple[dict, tuple]] = []
+    failed: List[Tuple[dict, str]] = []
+    pool = ProcessPoolExecutor(max_workers=workers)
+    futures = [(task, pool.submit(_run_task, task)) for task in tasks]
+    abort: Optional[str] = None
+    for task, future in futures:
+        if abort is not None:
+            # The pool is compromised; salvage finished futures only.
+            if future.done() and not future.cancelled():
+                try:
+                    completed.append((task, future.result()))
+                except Exception as exc:
+                    failed.append((task, repr(exc)))
+            else:
+                failed.append((task, abort))
+            continue
+        try:
+            completed.append((task, future.result(timeout=timeout)))
+        except FutureTimeout:
+            failed.append(
+                (task, f"worker exceeded the {timeout:g}s timeout")
+            )
+            abort = "pool torn down after a worker timeout"
+        except BrokenProcessPool as exc:
+            failed.append((task, f"worker process died ({exc})"))
+            abort = "pool torn down after a worker death"
+        except Exception as exc:
+            # A deterministic in-task failure; the pool itself is fine.
+            failed.append((task, repr(exc)))
+    if abort is not None:
+        _terminate_pool(pool)
+    else:
+        pool.shutdown()
+    return completed, failed
+
+
 def prefetch_runs(
     ctx: ExperimentContext,
     experiment_names: Sequence[str],
     jobs: int,
     run_specs: Optional[Sequence[ConfigSpec]] = None,
     error_specs: Optional[Sequence[ConfigSpec]] = None,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 1.0,
+    journal=None,
 ) -> int:
     """Simulate everything ``experiment_names`` will need, in parallel.
 
@@ -108,11 +199,31 @@ def prefetch_runs(
 
     ``run_specs`` / ``error_specs`` override the experiment-derived
     plan (used by :func:`repro.api.simulate` callers and tests).
+
+    Args:
+        timeout: seconds allowed per workload task, measured from the
+            completion of the previously merged task (None = wait
+            forever). A timeout kills the pool and counts as a failure.
+        retries: rounds to re-run failed tasks in a fresh pool.
+        backoff: base delay before retry ``k``, growing as
+            ``backoff * 2**(k-1)`` seconds.
+        journal: optional
+            :class:`~repro.resilience.checkpoint.SweepJournal`; every
+            merged record is journaled as it lands, so a killed sweep
+            resumes from its last completed (workload, config).
+
+    Raises:
+        SimulationFault: tasks still failing after every retry; the
+            message names each failed (workload, configs) pair.
     """
     if run_specs is None or error_specs is None:
         planned_runs, planned_errors = plan_specs(experiment_names)
         run_specs = planned_runs if run_specs is None else list(run_specs)
         error_specs = planned_errors if error_specs is None else list(error_specs)
+    # Resolve context-default faults up front so worker memo keys,
+    # parent memo keys and checkpoint digests all agree.
+    run_specs = list(dict.fromkeys(ctx.apply_faults(s) for s in run_specs))
+    error_specs = list(dict.fromkeys(ctx.apply_faults(s) for s in error_specs))
     tasks = []
     for name in ctx.names:
         need_runs = [s for s in run_specs if (name, s) not in ctx._runs]
@@ -140,16 +251,54 @@ def prefetch_runs(
         "prefetching %d workload tasks across %d workers", len(tasks), workers
     )
     with ctx.obs.profiler.phase(f"parallel/jobs{workers}"):
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(_run_task, task) for task in tasks]
-            # Merge in submission order for deterministic memo order.
-            for future in futures:
-                name, runs, errors = future.result()
+        pending = tasks
+        attempt = 0
+        while True:
+            completed, failed = _run_round(
+                pending, max(1, min(workers, len(pending))), timeout
+            )
+            for task, (name, runs, errors) in completed:
                 for spec, record in runs:
                     ctx._runs[(name, spec)] = record
                     fetched += 1
+                    if journal is not None:
+                        journal.record_run(name, spec, record)
                 for spec, err in errors.items():
                     ctx._errors[(name, spec)] = err
+                    if journal is not None:
+                        journal.record_error(name, spec, err)
+            if not failed:
+                break
+            if attempt >= retries:
+                detail = "; ".join(
+                    "{} [{}]: {}".format(
+                        task["workload"],
+                        ", ".join(
+                            s.label()
+                            for s in task["run_specs"] + task["error_specs"]
+                        ) or "no specs",
+                        reason,
+                    )
+                    for task, reason in failed
+                )
+                raise SimulationFault(
+                    f"parallel sweep failed after {attempt} retr"
+                    f"{'y' if attempt == 1 else 'ies'} for: {detail}"
+                )
+            attempt += 1
+            delay = backoff * (2 ** (attempt - 1))
+            for task, reason in failed:
+                log.warning(
+                    "retrying %s (attempt %d/%d in %.1fs): %s",
+                    task["workload"], attempt, retries, delay, reason,
+                )
+                ctx.obs.tracer.emit(
+                    EVENT_WORKER_RETRY,
+                    workload=task["workload"], attempt=attempt,
+                    delay_s=delay, error=reason,
+                )
+            time.sleep(delay)
+            pending = [task for task, _ in failed]
     return fetched
 
 

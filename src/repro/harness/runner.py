@@ -16,7 +16,7 @@ touching code.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter_ns
 from typing import Dict, List, Optional, Tuple
 
@@ -24,9 +24,11 @@ from repro.core.config import DoppelgangerConfig, UniDoppelgangerConfig
 from repro.core.functional import BlockApproximator
 from repro.core.maps import MapConfig
 from repro.energy.accounting import EnergyModel, EnergyReport
+from repro.errors import SimulationFault
 from repro.hierarchy.llc import BaselineLLC, SplitDoppelgangerLLC, UnifiedDoppelgangerLLC
 from repro.hierarchy.system import System, SystemConfig, SystemResult
-from repro.obs import Observability, get_logger
+from repro.obs import EVENT_ENGINE_FALLBACK, Observability, get_logger
+from repro.resilience.faults import FaultConfig, FaultInjector
 from repro.workloads.registry import get_workload, workload_names
 
 
@@ -59,27 +61,55 @@ class ConfigSpec:
         data_fraction: Doppelgänger data-array fraction — of the tag
             count for the split design, of the baseline block count for
             the unified design.
+        faults: optional deterministic fault injection
+            (:class:`~repro.resilience.faults.FaultConfig`); ``None``
+            simulates fault-free hardware. Always set through
+            :meth:`with_faults`, which drops configs that can never
+            fault so a zero-rate sweep memoizes and labels exactly
+            like a fault-free one.
     """
 
     kind: str = "baseline"
     map_bits: int = 14
     data_fraction: float = 0.25
+    faults: Optional[FaultConfig] = None
+
+    def with_faults(self, faults: Optional[FaultConfig]) -> "ConfigSpec":
+        """Copy of this spec under ``faults``.
+
+        An inactive config (every rate zero, no stuck bits, or no
+        targets) normalizes to ``None`` — the acceptance criterion
+        that a zero-rate fault sweep is bit-identical to one with
+        faults disabled falls out of the resulting specs being equal.
+        """
+        if faults is not None and not faults.active:
+            faults = None
+        if faults == self.faults:
+            return self
+        return replace(self, faults=faults)
 
     def label(self) -> str:
         """Human-readable config name."""
         if self.kind == "baseline":
-            return "baseline-2MB"
-        frac = f"1/{round(1 / self.data_fraction)}" if self.data_fraction <= 0.5 else "3/4"
-        return f"{self.kind}-{self.map_bits}bit-{frac}"
+            base = "baseline-2MB"
+        else:
+            frac = f"1/{round(1 / self.data_fraction)}" if self.data_fraction <= 0.5 else "3/4"
+            base = f"{self.kind}-{self.map_bits}bit-{frac}"
+        if self.faults is not None:
+            base += "+" + self.faults.label()
+        return base
 
     def to_dict(self) -> dict:
         """JSON-friendly form (see ``docs/api.md``)."""
-        return {
+        out = {
             "kind": self.kind,
             "map_bits": self.map_bits,
             "data_fraction": self.data_fraction,
             "label": self.label(),
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     def build_llc(self, regions, size_factor: int = 1):
         """Instantiate the LLC adapter for this spec.
@@ -113,7 +143,14 @@ class ConfigSpec:
         raise ValueError(f"unknown config kind {self.kind!r}")
 
     def approximator(self, size_factor: int = 1) -> Optional[BlockApproximator]:
-        """Functional approximator matching this spec (None = precise)."""
+        """Functional approximator matching this spec (None = precise).
+
+        When the spec carries a fault config, the approximator gets its
+        own :class:`~repro.resilience.faults.FaultInjector` so silent
+        faults corrupt the values the application actually consumes
+        (the output-error consequence of running approximate storage
+        unprotected).
+        """
         if self.kind == "baseline":
             return None
         if self.kind == "dopp":
@@ -121,7 +158,10 @@ class ConfigSpec:
         else:
             entries = int(_scaled_entries(32 * 1024, size_factor) * self.data_fraction)
         entries = max(entries, 256)
-        return BlockApproximator(MapConfig(self.map_bits), data_entries=entries)
+        faults = FaultInjector(self.faults) if self.faults is not None else None
+        return BlockApproximator(
+            MapConfig(self.map_bits), data_entries=entries, faults=faults
+        )
 
 
 def baseline_spec() -> ConfigSpec:
@@ -151,6 +191,12 @@ class RunRecord:
     #: recorded so the BENCH summary can chart accesses/second.
     wall_ns: int = 0
     accesses: int = 0
+    #: Fault-injection report (``FaultInjector.summary()``) when the
+    #: spec carried a fault config, else None.
+    faults: Optional[dict] = None
+    #: Engine that produced the result when it differs from the one
+    #: requested (the batched engine degraded to the reference).
+    engine_used: Optional[str] = None
 
     @property
     def cycles(self) -> int:
@@ -169,7 +215,7 @@ class RunRecord:
         :meth:`ConfigSpec.to_dict`, ``SystemResult.to_dict`` and
         ``EnergyReport.to_dict`` respectively (see ``docs/api.md``).
         """
-        return {
+        out = {
             "config": self.spec.to_dict(),
             "system": self.system.to_dict(),
             "energy": self.energy.to_dict(),
@@ -177,6 +223,11 @@ class RunRecord:
             "accesses": self.accesses,
             "accesses_per_sec": self.accesses_per_sec,
         }
+        if self.faults is not None:
+            out["faults"] = self.faults
+        if self.engine_used is not None:
+            out["engine_used"] = self.engine_used
+        return out
 
 
 def env_scale(default: float = 1.0) -> float:
@@ -204,6 +255,9 @@ class ExperimentContext:
         engine: simulation engine name threaded into every
             :meth:`run` (``"batched"``, ``"reference"`` or ``None``
             for the :func:`repro.engine.get_engine` default).
+        faults: context-wide default fault config, applied (via
+            :meth:`apply_faults`) to every spec that does not already
+            carry one. Inactive configs normalize to ``None``.
     """
 
     def __init__(
@@ -213,10 +267,12 @@ class ExperimentContext:
         workloads=None,
         obs: Optional[Observability] = None,
         engine: Optional[str] = None,
+        faults: Optional[FaultConfig] = None,
     ):
         self.obs = obs or Observability.disabled()
         self.log = get_logger("harness.runner")
         self.engine = engine
+        self.faults = faults if faults is not None and faults.active else None
         self.seed = env_seed() if seed is None else seed
         self.scale = env_scale() if scale is None else scale
         #: Structure sizes scale with the dataset (power-of-two snap)
@@ -261,30 +317,95 @@ class ExperimentContext:
 
     # ------------------------------------------------------------------ runs
 
+    def apply_faults(self, spec: ConfigSpec) -> ConfigSpec:
+        """Resolve the fault config a spec runs under.
+
+        A spec that already carries faults keeps them; otherwise the
+        context-wide default (``--faults`` on the CLI) applies. Called
+        at the top of :meth:`run`/:meth:`error` so memo keys, labels
+        and checkpoint digests all agree on the resolved spec.
+        """
+        if spec.faults is None and self.faults is not None:
+            return spec.with_faults(self.faults)
+        return spec
+
+    def _simulate(self, name: str, spec: ConfigSpec, trace):
+        """Build and run one system, degrading to the reference engine.
+
+        Returns ``(result, llc, injector, engine_used)``. A batched
+        failure rebuilds the hierarchy (the failed run mutated it) and
+        replays under the reference interpreter, logged and traced as
+        an ``engine_fallback`` event; if the reference fails too — or
+        was the engine asked for — the error surfaces as a
+        :class:`~repro.errors.SimulationFault` naming the (workload,
+        config) pair.
+        """
+        label = spec.label()
+
+        def build():
+            llc = spec.build_llc(trace.regions, self.size_factor)
+            injector = (
+                FaultInjector(spec.faults) if spec.faults is not None else None
+            )
+            system = System(
+                llc, config=self._system_config(), tracer=self.obs.tracer,
+                faults=injector,
+            )
+            if self.obs.enabled:
+                system.publish_metrics(self.obs.registry, f"sim.{name}.{label}")
+            return llc, injector, system
+
+        llc, injector, system = build()
+        try:
+            result = system.run(trace, engine=self.engine)
+            return result, llc, injector, None
+        except Exception as exc:
+            if self.engine == "reference":
+                raise SimulationFault(
+                    f"reference engine failed for {name}/{label}: {exc}"
+                ) from exc
+            self.log.warning(
+                "batched engine failed for %s/%s (%s); retrying with the "
+                "reference engine", name, label, exc,
+            )
+            self.obs.tracer.emit(
+                EVENT_ENGINE_FALLBACK,
+                engine=self.engine or "batched", error=repr(exc),
+                workload=name, config=label,
+            )
+        # The failed run left the hierarchy partially mutated: rebuild
+        # from scratch (metrics sources re-register over the old ones).
+        llc, injector, system = build()
+        try:
+            result = system.run(trace, engine="reference")
+        except Exception as exc:
+            raise SimulationFault(
+                f"simulation failed under both engines for {name}/{label}: "
+                f"{exc}"
+            ) from exc
+        return result, llc, injector, "reference"
+
     def run(self, name: str, spec: ConfigSpec) -> RunRecord:
         """Simulate one (workload, config); memoized."""
+        spec = self.apply_faults(spec)
         key = (name, spec)
         if key not in self._runs:
             trace = self.trace(name)
             label = spec.label()
             self.log.info("simulating %s under %s", name, label)
             with self.obs.profiler.phase(f"sim/{name}/{label}"):
-                llc = spec.build_llc(trace.regions, self.size_factor)
-                system = System(
-                    llc, config=self._system_config(), tracer=self.obs.tracer
-                )
-                if self.obs.enabled:
-                    system.publish_metrics(
-                        self.obs.registry, f"sim.{name}.{label}"
-                    )
                 start_ns = perf_counter_ns()
-                result = system.run(trace, engine=self.engine)
+                result, llc, injector, engine_used = self._simulate(
+                    name, spec, trace
+                )
                 wall_ns = perf_counter_ns() - start_ns
             with self.obs.profiler.phase(f"energy/{name}/{label}"):
                 energy = self.energy_model.dynamic_energy(llc, cycles=result.cycles)
             self._runs[key] = RunRecord(
                 spec=spec, system=result, energy=energy, llc=llc,
                 wall_ns=wall_ns, accesses=len(trace),
+                faults=injector.summary() if injector is not None else None,
+                engine_used=engine_used,
             )
         return self._runs[key]
 
@@ -294,14 +415,23 @@ class ExperimentContext:
         Uses the functional Pin-style methodology: the full application
         runs with its approximate arrays routed through the functional
         Doppelgänger of the spec. The baseline error is 0 by
-        definition.
+        definition (its hardware is fully ECC-protected, so even an
+        injected fault never corrupts an output).
         """
         if spec.kind == "baseline":
             return 0.0
+        spec = self.apply_faults(spec)
         key = (name, spec)
         if key not in self._errors:
             workload = self.workload(name)
             if name not in self._precise_outputs:
+                # Evaluate against the canonical mid-run state: output
+                # regions populated (idempotent — build_trace does the
+                # same). Without this, the error depended on whether the
+                # trace had been generated yet, and a --jobs prefetch
+                # (trace first, in the worker) disagreed with the
+                # sequential drivers (error table first).
+                workload.refresh_outputs()
                 with self.obs.profiler.phase(f"error/{name}/precise"):
                     self._precise_outputs[name] = workload.run(None)
             approximator = spec.approximator(self.size_factor)
@@ -357,25 +487,28 @@ class ExperimentContext:
         )
         for (name, spec), rec in items:
             sysres = rec.system
-            out.append(
-                {
-                    "workload": name,
-                    "config": spec.label(),
-                    "sim_wall_s": rec.wall_ns / 1e9,
-                    "accesses": rec.accesses,
-                    "accesses_per_sec": rec.accesses_per_sec,
-                    "cycles": sysres.cycles,
-                    "instructions": sysres.instructions,
-                    "llc_miss_rate": sysres.llc_miss_rate,
-                    "l1_hit_rate": sysres.l1_stats.hit_rate,
-                    "l2_hit_rate": sysres.l2_stats.hit_rate,
-                    "back_invalidations": sysres.back_invalidations,
-                    "coherence_invalidations": sysres.coherence_invalidations,
-                    "wb_stall_cycles": sysres.wb_stall_cycles,
-                    "traffic_bytes": sysres.traffic_bytes,
-                    "error": self._errors.get((name, spec)),
-                }
-            )
+            row = {
+                "workload": name,
+                "config": spec.label(),
+                "sim_wall_s": rec.wall_ns / 1e9,
+                "accesses": rec.accesses,
+                "accesses_per_sec": rec.accesses_per_sec,
+                "cycles": sysres.cycles,
+                "instructions": sysres.instructions,
+                "llc_miss_rate": sysres.llc_miss_rate,
+                "l1_hit_rate": sysres.l1_stats.hit_rate,
+                "l2_hit_rate": sysres.l2_stats.hit_rate,
+                "back_invalidations": sysres.back_invalidations,
+                "coherence_invalidations": sysres.coherence_invalidations,
+                "wb_stall_cycles": sysres.wb_stall_cycles,
+                "traffic_bytes": sysres.traffic_bytes,
+                "error": self._errors.get((name, spec)),
+            }
+            if rec.faults is not None:
+                row["faults"] = rec.faults
+            if rec.engine_used is not None:
+                row["engine_used"] = rec.engine_used
+            out.append(row)
         return out
 
     def context_summary(self) -> dict:
@@ -386,4 +519,5 @@ class ExperimentContext:
             "size_factor": self.size_factor,
             "workloads": list(self.names),
             "engine": self.engine or "batched",
+            "faults": self.faults.to_dict() if self.faults is not None else None,
         }

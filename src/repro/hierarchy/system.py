@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, NamedTuple, Optional
 
 from repro.cache.set_assoc import SetAssociativeCache
+from repro.errors import ConfigError
 from repro.cache.stats import CacheStats
 from repro.cache.writeback import WritebackBuffer
 from repro.hierarchy.dram import MainMemory
@@ -67,9 +68,13 @@ class SystemConfig:
 
     def __post_init__(self):
         if self.num_cores <= 0:
-            raise ValueError("num_cores must be positive")
+            raise ConfigError(
+                f"must be positive, got {self.num_cores}", field="num_cores"
+            )
         if self.issue_width <= 0:
-            raise ValueError("issue_width must be positive")
+            raise ConfigError(
+                f"must be positive, got {self.issue_width}", field="issue_width"
+            )
 
 
 class SystemResult(NamedTuple):
@@ -138,6 +143,13 @@ class System:
             writeback-buffer events, and is forwarded to the LLC for
             its protocol events. A disabled (or absent) tracer is
             normalized to None so the run loop pays one None-check.
+        faults: optional
+            :class:`~repro.resilience.faults.FaultInjector`; when
+            given, LLC read hits and DRAM fills consult it — detected
+            faults in precise structures cost a DRAM refetch, silent
+            faults in the approximate array are counted (their value
+            corruption is modelled functionally). See
+            ``docs/robustness.md``.
     """
 
     def __init__(
@@ -146,10 +158,12 @@ class System:
         config: Optional[SystemConfig] = None,
         mem_latency: int = 160,
         tracer=None,
+        faults=None,
     ):
         self.config = config or SystemConfig()
         cfg = self.config
         self.llc = llc
+        self.fault_injector = faults
         self.tracer = tracer if (tracer is not None and tracer.enabled) else None
         if self.tracer is not None and hasattr(llc, "attach_tracer"):
             llc.attach_tracer(self.tracer)
@@ -350,6 +364,16 @@ class System:
                 "back_invalidations": self.back_invalidations,
             },
         )
+        if self.fault_injector is not None:
+            registry.register_source(
+                f"{prefix}.faults", self.fault_injector.as_metrics
+            )
+
+    def fault_summary(self) -> Optional[Dict[str, object]]:
+        """Injected-fault report for this run (None without injection)."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.summary()
 
     def _llc_accesses(self) -> int:
         """Demand accesses seen by the LLC, across organizations."""

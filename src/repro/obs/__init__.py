@@ -28,11 +28,14 @@ from repro.obs.events import (
     EVENT_BACK_INVALIDATION,
     EVENT_COHERENCE_INVALIDATION,
     EVENT_DATA_EVICTION,
+    EVENT_ENGINE_FALLBACK,
+    EVENT_FAULT_INJECTED,
     EVENT_MAP_GENERATION,
     EVENT_PHASE,
     EVENT_TAG_INSERT,
     EVENT_TAG_MOVE,
     EVENT_WB_ENQUEUE,
+    EVENT_WORKER_RETRY,
     Event,
     EventSink,
     JsonlFileSink,
@@ -64,6 +67,9 @@ __all__ = [
     "EVENT_COHERENCE_INVALIDATION",
     "EVENT_WB_ENQUEUE",
     "EVENT_PHASE",
+    "EVENT_FAULT_INJECTED",
+    "EVENT_ENGINE_FALLBACK",
+    "EVENT_WORKER_RETRY",
     "Counter",
     "Gauge",
     "Histogram",

@@ -14,7 +14,17 @@ kind                      payload fields
 ``coherence_invalidation``  ``addr``, ``writer``, ``sharers`` (MSI store)
 ``wb_enqueue``            ``addr``, ``stall`` (writeback-buffer pressure)
 ``phase``                 ``name``, ``ns`` (one per completed profiler phase)
+``fault_injected``        ``site``, ``addr``, ``detected`` (resilience layer)
+``engine_fallback``       ``engine``, ``error``, ``workload``, ``config``
+``worker_retry``          ``workload``, ``attempt``, ``delay_s``, ``error``
 ========================  =====================================================
+
+The last three come from the resilience layer (``docs/robustness.md``):
+``fault_injected`` marks one injected fault (``detected`` tells an
+ECC-detected refetch from a silent approximate-array corruption),
+``engine_fallback`` records a batched-engine failure that degraded to
+the reference interpreter, and ``worker_retry`` records a parallel
+worker being retried after a crash or timeout.
 
 A :class:`Tracer` fans each event out to its sinks. With no sinks
 attached ``tracer.enabled`` is False and instrumented code skips the
@@ -39,6 +49,9 @@ EVENT_BACK_INVALIDATION = "back_invalidation"
 EVENT_COHERENCE_INVALIDATION = "coherence_invalidation"
 EVENT_WB_ENQUEUE = "wb_enqueue"
 EVENT_PHASE = "phase"
+EVENT_FAULT_INJECTED = "fault_injected"
+EVENT_ENGINE_FALLBACK = "engine_fallback"
+EVENT_WORKER_RETRY = "worker_retry"
 
 #: Every kind an instrumented structure may emit (docs + validation).
 EVENT_KINDS = (
@@ -50,6 +63,9 @@ EVENT_KINDS = (
     EVENT_COHERENCE_INVALIDATION,
     EVENT_WB_ENQUEUE,
     EVENT_PHASE,
+    EVENT_FAULT_INJECTED,
+    EVENT_ENGINE_FALLBACK,
+    EVENT_WORKER_RETRY,
 )
 
 

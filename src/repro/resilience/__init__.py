@@ -1,0 +1,40 @@
+"""Resilience layer: fault injection, checkpoint/resume, typed errors.
+
+Three pillars (see ``docs/robustness.md``):
+
+* :mod:`repro.resilience.faults` — a deterministic, seeded
+  fault-injection engine (bit flips, bursts, stuck-at cells) for the
+  approximate data array, the conventional LLC and DRAM;
+* :mod:`repro.resilience.checkpoint` — a crash-tolerant journal of
+  completed (workload, config) results so killed sweeps resume
+  byte-identically (``--resume``);
+* :mod:`repro.errors` — the typed exception hierarchy the CLI maps to
+  documented exit codes (re-exported here for convenience).
+"""
+
+from repro.errors import ConfigError, ReproError, SimulationFault, TraceFormatError
+from repro.resilience.checkpoint import SweepJournal, context_fingerprint, open_journal
+from repro.resilience.faults import (
+    FAULT_TARGETS,
+    TARGET_APPROX_DATA,
+    TARGET_DRAM,
+    TARGET_LLC,
+    FaultConfig,
+    FaultInjector,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FAULT_TARGETS",
+    "TARGET_APPROX_DATA",
+    "TARGET_DRAM",
+    "TARGET_LLC",
+    "SweepJournal",
+    "context_fingerprint",
+    "open_journal",
+    "ReproError",
+    "ConfigError",
+    "TraceFormatError",
+    "SimulationFault",
+]

@@ -12,13 +12,25 @@ offsets; regions are stored column-wise with their annotations.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
+from repro.errors import TraceFormatError
 from repro.trace.record import DType
 from repro.trace.region import Region, RegionMap
 from repro.trace.trace import Trace
 
 _FORMAT_VERSION = 1
+
+#: Arrays every v1 trace file must contain.
+_REQUIRED_FIELDS = (
+    "format_version", "name", "block_size", "cores", "addrs", "is_write",
+    "approx", "region_ids", "value_ids", "gaps", "values_flat",
+    "value_offsets", "image_addrs", "image_vids", "region_names",
+    "region_base", "region_size", "region_dtype", "region_approx",
+    "region_vmin", "region_vmax",
+)
 
 
 def save_trace(trace: Trace, path: str) -> None:
@@ -66,26 +78,71 @@ def save_trace(trace: Trace, path: str) -> None:
 
 
 def load_trace(path: str) -> Trace:
-    """Restore a trace written by :func:`save_trace`."""
-    with np.load(path, allow_pickle=True) as data:
-        version = int(data["format_version"])
+    """Restore a trace written by :func:`save_trace`.
+
+    Raises:
+        TraceFormatError: the file is missing, not a trace archive, has
+            an unsupported format version, or lacks a required array —
+            always with the file path (and offending field) attached.
+    """
+    if not os.path.exists(path):
+        raise TraceFormatError("no such trace file", path=path)
+    try:
+        archive = np.load(path, allow_pickle=True)
+    except Exception as exc:
+        raise TraceFormatError(
+            f"not a readable .npz trace archive ({exc})", path=path
+        ) from exc
+    with archive as data:
+        present = set(data.files)
+        for name in _REQUIRED_FIELDS:
+            if name not in present:
+                raise TraceFormatError(
+                    "required array missing from trace archive",
+                    path=path, field=name,
+                )
+        try:
+            version = int(data["format_version"])
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(
+                "format_version is not an integer",
+                path=path, field="format_version",
+            ) from exc
         if version != _FORMAT_VERSION:
-            raise ValueError(f"unsupported trace format version {version}")
+            raise TraceFormatError(
+                f"unsupported trace format version {version} "
+                f"(this build reads version {_FORMAT_VERSION})",
+                path=path, field="format_version",
+            )
+        n = len(data["addrs"])
+        for name in ("is_write", "approx", "region_ids", "value_ids", "gaps",
+                     "cores"):
+            if len(data[name]) != n:
+                raise TraceFormatError(
+                    f"column length {len(data[name])} != {n} (addrs)",
+                    path=path, field=name,
+                )
 
         regions = RegionMap()
         names = data["region_names"]
         for i in range(len(names)):
-            regions.add(
-                Region(
-                    str(names[i]),
-                    int(data["region_base"][i]),
-                    int(data["region_size"][i]),
-                    DType(int(data["region_dtype"][i])),
-                    approx=bool(data["region_approx"][i]),
-                    vmin=float(data["region_vmin"][i]),
-                    vmax=float(data["region_vmax"][i]),
+            try:
+                regions.add(
+                    Region(
+                        str(names[i]),
+                        int(data["region_base"][i]),
+                        int(data["region_size"][i]),
+                        DType(int(data["region_dtype"][i])),
+                        approx=bool(data["region_approx"][i]),
+                        vmin=float(data["region_vmin"][i]),
+                        vmax=float(data["region_vmax"][i]),
+                    )
                 )
-            )
+            except (TypeError, ValueError, IndexError) as exc:
+                raise TraceFormatError(
+                    f"invalid region record {i}: {exc}",
+                    path=path, line=i, field="region_*",
+                ) from exc
 
         offsets = data["value_offsets"]
         flat = data["values_flat"]

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Type
 
+from repro.errors import ConfigError
 from repro.workloads.base import Workload
 from repro.workloads.blackscholes import Blackscholes
 from repro.workloads.canneal import Canneal
@@ -51,8 +52,11 @@ def get_workload(name: str, seed: int = 0, scale: float = 1.0) -> Workload:
     try:
         cls = _REGISTRY[name]
     except KeyError:
-        raise ValueError(
-            f"unknown workload {name!r}; choose from {workload_names()}"
+        # ConfigError subclasses ValueError, so pre-existing callers
+        # catching ValueError keep working; the CLI maps it to exit 2.
+        raise ConfigError(
+            f"unknown workload {name!r}; choose from {workload_names()}",
+            field="workload",
         ) from None
     return cls(seed=seed, scale=scale)
 

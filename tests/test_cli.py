@@ -38,4 +38,5 @@ class TestCLI:
 
     def test_names_cover_all_figures(self):
         names = experiment_names()
-        assert len(names) == 12
+        assert len(names) == 13
+        assert "faultsweep" in names
