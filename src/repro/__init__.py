@@ -35,7 +35,10 @@ _LAZY_EXPORTS = {
     "baseline_spec": "repro.harness.runner",
     "dopp_spec": "repro.harness.runner",
     "uni_spec": "repro.harness.runner",
+    "run_trace": "repro.harness.runner",
     "experiment_names": "repro.harness.experiments",
+    "ingest_trace": "repro.ingest",
+    "IngestOptions": "repro.ingest",
     "SystemResult": "repro.hierarchy.system",
     "System": "repro.hierarchy.system",
     "engine_names": "repro.engine",
@@ -67,8 +70,10 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         RunRecord,
         baseline_spec,
         dopp_spec,
+        run_trace,
         uni_spec,
     )
+    from repro.ingest import IngestOptions, ingest_trace  # noqa: F401
     from repro.hierarchy.system import System, SystemResult  # noqa: F401
 
 

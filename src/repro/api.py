@@ -28,6 +28,7 @@ from repro.harness.runner import (
     RunRecord,
     baseline_spec,
     dopp_spec,
+    run_trace,
     uni_spec,
 )
 
@@ -62,22 +63,29 @@ def as_spec(config) -> ConfigSpec:
 
 
 def simulate(
-    workload: str,
+    workload: Optional[str] = None,
     config=None,
     *,
+    trace=None,
     engine: str = "batched",
     seed: Optional[int] = None,
     scale: Optional[float] = None,
     faults=None,
     ctx: Optional[ExperimentContext] = None,
 ) -> RunRecord:
-    """Simulate one workload under one LLC configuration.
+    """Simulate one workload — or one imported trace — under one config.
 
     Args:
         workload: benchmark name (see
-            :func:`repro.workloads.registry.workload_names`).
+            :func:`repro.workloads.registry.workload_names`). Mutually
+            exclusive with ``trace``.
         config: a :class:`ConfigSpec`, a kind shorthand (``"baseline"``,
             ``"dopp"``, ``"uni"``) or ``None`` for the baseline LLC.
+        trace: a :class:`~repro.trace.trace.Trace` or a path — ``.npz``
+            archives load via :func:`repro.trace.io.load_trace`, any
+            other path ingests via :func:`repro.ingest.ingest_trace`
+            (format detected from the suffix). The trace's own regions
+            drive the LLC; ``seed``/``scale``/``ctx`` do not apply.
         engine: ``"batched"`` (default) or ``"reference"`` — both are
             bit-identical; see :mod:`repro.engine`.
         seed: data-generation seed (``REPRO_SEED`` / 7 by default).
@@ -92,13 +100,31 @@ def simulate(
             ignored in favour of the context's.
 
     Returns:
-        The memoized :class:`RunRecord` — timing in ``.system``,
-        energy in ``.energy``, the LLC structure in ``.llc``, JSON
-        form via ``.to_dict()``.
+        The :class:`RunRecord` — timing in ``.system``, energy in
+        ``.energy``, the LLC structure in ``.llc``, JSON form via
+        ``.to_dict()``. Workload runs are memoized on the context;
+        trace runs are standalone.
     """
+    from repro.errors import ConfigError
+
+    if (workload is None) == (trace is None):
+        raise ConfigError(
+            "pass exactly one of 'workload' or 'trace'", field="workload"
+        )
     spec = as_spec(config)
     if faults is not None:
         spec = spec.with_faults(faults)
+    if trace is not None:
+        if isinstance(trace, str):
+            if trace.endswith(".npz"):
+                from repro.trace.io import load_trace
+
+                trace = load_trace(trace)
+            else:
+                from repro.ingest import ingest_trace
+
+                trace = ingest_trace(trace)
+        return run_trace(trace, spec, engine=engine)
     if ctx is None:
         ctx = ExperimentContext(
             seed=seed, scale=scale, workloads=[workload], engine=engine

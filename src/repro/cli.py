@@ -165,16 +165,53 @@ def _main_compare(argv) -> int:
     return 1 if comparison.regressions else 0
 
 
+def _replay_engines(trace, spec, engine: Optional[str]) -> int:
+    """Run a trace under one engine — or both, diffing the results.
+
+    With ``engine="both"`` the trace is simulated twice on fresh
+    hierarchies and every functional field of the two
+    :class:`~repro.hierarchy.system.SystemResult` dicts must agree
+    (engines are bit-identical by contract); a mismatch prints the
+    offending fields and returns 1.
+    """
+    from repro.harness.runner import run_trace
+
+    engines = ("batched", "reference") if engine == "both" else (engine,)
+    results = {}
+    for name in engines:
+        record = run_trace(trace, spec, engine=name)
+        results[name or "batched"] = record
+        result = record.system
+        shown = name or "batched"
+        print(
+            f"  [{shown}] cycles={result.cycles} "
+            f"llc_miss_rate={result.llc_miss_rate:.4f} "
+            f"traffic_bytes={result.traffic_bytes}"
+        )
+    if engine == "both":
+        batched = results["batched"].system.to_dict()
+        reference = results["reference"].system.to_dict()
+        diff = [k for k in batched if batched[k] != reference.get(k)]
+        if diff:
+            print(
+                f"ENGINE MISMATCH on {sorted(diff)} — engines must be "
+                "bit-identical", file=sys.stderr,
+            )
+            return 1
+        print("  engines agree bit-identically")
+    return 0
+
+
 def _main_replay(argv) -> int:
     """The ``replay`` subcommand: simulate a saved ``.npz`` trace.
 
     Exercises the hardened trace loader end to end: a missing,
     truncated or version-skewed file surfaces as a
     :class:`~repro.errors.TraceFormatError` (exit code 3) naming the
-    file and offending field.
+    file and offending field. ``--engine both`` replays twice and
+    verifies the engines agree bit-identically.
     """
     from repro.harness.runner import ConfigSpec
-    from repro.hierarchy.system import System
     from repro.trace.io import load_trace
 
     parser = argparse.ArgumentParser(
@@ -191,20 +228,151 @@ def _main_replay(argv) -> int:
     parser.add_argument(
         "--engine",
         default=None,
-        choices=("batched", "reference"),
-        help="simulation engine (default: batched)",
+        choices=("batched", "reference", "both"),
+        help="simulation engine; 'both' verifies bit-identical replay "
+        "(default: batched)",
     )
     args = parser.parse_args(argv)
     trace = load_trace(args.trace)
     spec = ConfigSpec(args.config)
-    llc = spec.build_llc(trace.regions)
-    system = System(llc)
-    result = system.run(trace, engine=args.engine)
-    print(f"replayed {trace.name}: {len(trace)} accesses under {spec.label()}")
-    print(
-        f"  cycles={result.cycles} llc_miss_rate={result.llc_miss_rate:.4f} "
-        f"traffic_bytes={result.traffic_bytes}"
+    print(f"replaying {trace.name}: {len(trace)} accesses under {spec.label()}")
+    return _replay_engines(trace, spec, args.engine)
+
+
+def _main_ingest(argv) -> int:
+    """The ``ingest`` subcommand: import an external trace format.
+
+    Streams the input through a format adapter (bounded by ``--chunk``
+    records, gzip-aware), infers annotated regions, writes a ``.npz``
+    trace with ``--out``, and with ``--simulate`` replays the imported
+    trace — under both engines by default, verifying they agree.
+    Malformed input exits 3 with path:line context (see
+    ``docs/workloads.md``).
+    """
+    from repro.harness.runner import ConfigSpec
+    from repro.ingest import IngestOptions, adapter_names, ingest_trace
+    from repro.ingest.values import value_model_names
+    from repro.trace.io import save_trace
+    from repro.trace.record import DType
+
+    parser = argparse.ArgumentParser(
+        prog="repro ingest",
+        description="Import an external memory trace (lackey, dinero, "
+        "CSV, JSONL; .gz transparently) into a repro trace.",
     )
+    parser.add_argument("input", help="trace file to ingest")
+    parser.add_argument(
+        "--format",
+        default=None,
+        choices=adapter_names(),
+        help="input format (default: detect from the file suffix)",
+    )
+    parser.add_argument("--out", default=None, help="write the trace here (.npz)")
+    parser.add_argument("--name", default=None, help="trace name (default: file stem)")
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=65536,
+        help="records per streaming chunk — bounds parser memory (default 65536)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=64, help="cache block size (default 64)"
+    )
+    parser.add_argument(
+        "--gap-blocks",
+        type=int,
+        default=64,
+        help="split inferred regions at address gaps larger than this many "
+        "blocks (default 64)",
+    )
+    parser.add_argument(
+        "--dtype",
+        default="F32",
+        choices=[d.name for d in DType],
+        help="declared element type for inferred regions (default F32)",
+    )
+    parser.add_argument(
+        "--approx",
+        default="auto",
+        choices=("auto", "all", "none"),
+        help="annotation policy: auto (clusters >= --approx-min-blocks "
+        "become approximate), all, or none (default auto)",
+    )
+    parser.add_argument(
+        "--approx-min-blocks",
+        type=int,
+        default=2,
+        help="auto policy: smaller clusters stay precise (default 2)",
+    )
+    parser.add_argument(
+        "--value-model",
+        default="gradient",
+        choices=value_model_names(),
+        help="synthetic values for address-only formats (default gradient)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="value-model seed (default 7)"
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=1,
+        help="stripe single-threaded formats across N cores (default 1)",
+    )
+    parser.add_argument(
+        "--simulate",
+        action="store_true",
+        help="replay the imported trace after ingesting",
+    )
+    parser.add_argument(
+        "--config",
+        default="dopp",
+        choices=("baseline", "dopp", "uni"),
+        help="LLC organization for --simulate (default dopp)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="both",
+        choices=("batched", "reference", "both"),
+        help="engine for --simulate; 'both' verifies bit-identical "
+        "replay (default both)",
+    )
+    args = parser.parse_args(argv)
+
+    options = IngestOptions(
+        format=args.format,
+        chunk_size=args.chunk,
+        block_size=args.block_size,
+        gap_blocks=args.gap_blocks,
+        dtype=DType[args.dtype],
+        approx=args.approx,
+        approx_min_blocks=args.approx_min_blocks,
+        value_model=args.value_model,
+        seed=args.seed,
+        cores=args.cores,
+        name=args.name,
+    )
+    trace = ingest_trace(args.input, options)
+    stats = trace.ingest_stats
+    print(
+        f"ingested {trace.name} [{stats['format']}]: {stats['records']} "
+        f"accesses in {stats['batches']} chunks (max {stats['max_batch']} "
+        f"<= chunk {stats['chunk_size']})"
+    )
+    print(
+        f"  regions: {stats['regions']} inferred, {stats['approx_regions']} "
+        f"approximate ({100 * stats['approx_fraction']:.1f}% of "
+        f"{stats['footprint_bytes']} bytes); values: "
+        + ("embedded" if stats["embedded_values"]
+           else f"synthetic ({stats['value_model']})")
+    )
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"  trace written to {args.out}")
+    if args.simulate:
+        spec = ConfigSpec(args.config)
+        print(f"replaying under {spec.label()}")
+        return _replay_engines(trace, spec, args.engine)
     return 0
 
 
@@ -404,6 +572,8 @@ def _dispatch(argv) -> int:
         return _main_compare(argv[1:])
     if argv and argv[0] == "replay":
         return _main_replay(argv[1:])
+    if argv and argv[0] == "ingest":
+        return _main_ingest(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)

@@ -225,14 +225,21 @@ class DoppelgangerCache:
             return map_value
         return self.maps.compute(region_id, values)
 
-    def seed_map_memo(self, pairs, values_table) -> int:
+    def seed_map_memo(self, pairs, values_table, stats=None) -> int:
         """Precompute the map memo for ``(region_id, value_id)`` pairs.
 
         Trace-level batching: the engines enumerate every pair a run can
         reach and this computes each region's maps in one
         :meth:`~repro.core.maps.MapGenerator.compute_batch` call instead
-        of per cold miss. Purely a speedup — ``compute_batch`` over
-        stacked rows equals the per-row computation bit-for-bit, and
+        of per cold miss. With ``stats`` (the per-pair clamped
+        ``(avg, range)`` hashes from
+        :func:`~repro.engine.precompute.quantize_region_values`) even
+        the reductions are skipped — only the config-dependent binning
+        runs, via
+        :meth:`~repro.core.maps.MapGenerator.compute_from_stats`, which
+        ``compute_batch`` itself routes through, so the two paths are
+        identical by construction. Purely a speedup — either path
+        equals the per-row computation bit-for-bit, and
         ``map_generations`` still counts every simulated hardware
         computation at its call sites. Returns the number of entries
         added.
@@ -246,6 +253,15 @@ class DoppelgangerCache:
         for rid, vids in by_region.items():
             gen = self.maps.generator(rid)
             if gen is None:
+                continue
+            if stats is not None:
+                avgs = np.array([stats[(rid, v)][0] for v in vids])
+                rngs = np.array([stats[(rid, v)][1] for v in vids])
+                for vid, map_value in zip(
+                    vids, gen.compute_from_stats(avgs, rngs)
+                ):
+                    memo[(rid, vid)] = int(map_value)
+                    added += 1
                 continue
             # Rows of one region share a length, but group defensively.
             by_len: dict = {}

@@ -124,6 +124,43 @@ class MapGenerator:
         bins = np.floor(norm * (1 << bits)).astype(np.int64)
         return np.clip(bins, 0, (1 << bits) - 1)
 
+    def block_stats(self, blocks: np.ndarray):
+        """Clamped ``(avgs, ranges)`` per block — the hash step.
+
+        This is the config-independent half of map generation: the
+        reductions depend only on the declared ``[vmin, vmax]`` range
+        (a property of the region), never on the map-space knobs, so
+        the results can be quantized once per trace and rebinned under
+        any :class:`MapConfig` (see
+        :func:`repro.engine.precompute.quantize_region_values`).
+        """
+        blocks = np.asarray(blocks, dtype=np.float64)
+        if blocks.ndim == 1:
+            blocks = blocks[np.newaxis, :]
+        clamped = np.clip(np.nan_to_num(blocks, nan=self.vmin), self.vmin, self.vmax)
+        avgs = clamped.mean(axis=1)
+        rngs = clamped.max(axis=1) - clamped.min(axis=1)
+        return avgs, rngs
+
+    def compute_from_stats(self, avgs: np.ndarray, rngs: np.ndarray) -> np.ndarray:
+        """Map values from precomputed clamped (avg, range) hashes.
+
+        The mapping step alone: linear binning plus the footnote-4
+        concatenation. ``compute_batch`` routes through here, so maps
+        built from quantized stats are structurally identical to maps
+        built from raw block values.
+        """
+        maps = np.zeros(len(avgs), dtype=np.int64)
+        shift = 0
+        if self.config.use_average:
+            maps |= self._bin(avgs, self.vmin, self.vmax, self.avg_bits)
+            shift = self.avg_bits
+        if self.config.use_range:
+            range_map = self._bin(rngs, 0.0, self.vmax - self.vmin, self.range_bits)
+            kept = range_map >> (self.range_bits - self.range_keep)
+            maps |= kept << shift
+        return maps
+
     def compute_batch(self, blocks: np.ndarray) -> np.ndarray:
         """Map values for a batch of blocks.
 
@@ -133,23 +170,8 @@ class MapGenerator:
         Returns:
             int64 array of ``n_blocks`` map values.
         """
-        blocks = np.asarray(blocks, dtype=np.float64)
-        if blocks.ndim == 1:
-            blocks = blocks[np.newaxis, :]
-        clamped = np.clip(np.nan_to_num(blocks, nan=self.vmin), self.vmin, self.vmax)
-
-        maps = np.zeros(len(clamped), dtype=np.int64)
-        shift = 0
-        if self.config.use_average:
-            avg = clamped.mean(axis=1)
-            maps |= self._bin(avg, self.vmin, self.vmax, self.avg_bits)
-            shift = self.avg_bits
-        if self.config.use_range:
-            rng = clamped.max(axis=1) - clamped.min(axis=1)
-            range_map = self._bin(rng, 0.0, self.vmax - self.vmin, self.range_bits)
-            kept = range_map >> (self.range_bits - self.range_keep)
-            maps |= kept << shift
-        return maps
+        avgs, rngs = self.block_stats(blocks)
+        return self.compute_from_stats(avgs, rngs)
 
     def compute(self, values: np.ndarray) -> int:
         """Map value for a single block."""

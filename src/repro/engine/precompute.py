@@ -75,3 +75,44 @@ def map_seed_pairs(trace) -> List[Tuple[int, int]]:
     result = sorted(pairs)
     trace._map_seed_pairs = result
     return result
+
+
+def quantize_region_values(trace) -> dict:
+    """Clamped ``(avg, range)`` hash per reachable map key, cached.
+
+    The hash step of map generation (Sec. 3.7) — clamp to the region's
+    declared ``[vmin, vmax]``, then average and max-minus-min — depends
+    only on the region annotations, never on the map-space config. So
+    it is quantized once per trace and cached; every config simulated
+    over the trace (baseline vs dopp vs uni, any map-bit ablation)
+    rebins the same stats via
+    :meth:`~repro.core.maps.MapGenerator.compute_from_stats` instead
+    of redoing the numpy reductions per cold-miss seed. Keys are the
+    ``(region_id, value_id)`` pairs of :func:`map_seed_pairs`.
+    """
+    cached = getattr(trace, "_region_value_stats", None)
+    if cached is not None:
+        return cached
+    stats: dict = {}
+    by_region: dict = {}
+    for rid, vid in map_seed_pairs(trace):
+        by_region.setdefault(rid, []).append(vid)
+    values = trace.values
+    for rid, vids in by_region.items():
+        region = trace.regions[rid]
+        vmin, vmax = float(region.vmin), float(region.vmax)
+        # Rows of one region share a length, but group defensively.
+        by_len: dict = {}
+        for vid in vids:
+            by_len.setdefault(len(values[vid]), []).append(vid)
+        for same_len in by_len.values():
+            blocks = np.stack(
+                [np.asarray(values[v], dtype=np.float64) for v in same_len]
+            )
+            clamped = np.clip(np.nan_to_num(blocks, nan=vmin), vmin, vmax)
+            avgs = clamped.mean(axis=1)
+            rngs = clamped.max(axis=1) - clamped.min(axis=1)
+            for i, vid in enumerate(same_len):
+                stats[(rid, vid)] = (avgs[i], rngs[i])
+    trace._region_value_stats = stats
+    return stats

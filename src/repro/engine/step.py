@@ -61,9 +61,13 @@ def prepare(system, trace) -> None:
     system._cur_value = dict(trace.initial_image)
     seed = getattr(system.llc, "seed_map_memo", None)
     if seed is not None:
-        from repro.engine.precompute import map_seed_pairs
+        from repro.engine.precompute import map_seed_pairs, quantize_region_values
 
-        seed(map_seed_pairs(trace), trace.values)
+        seed(
+            map_seed_pairs(trace),
+            trace.values,
+            stats=quantize_region_values(trace),
+        )
 
 
 def process_access(

@@ -230,6 +230,52 @@ class RunRecord:
         return out
 
 
+def run_trace(
+    trace,
+    spec: Optional[ConfigSpec] = None,
+    *,
+    engine: Optional[str] = None,
+    size_factor: float = 1.0,
+    energy_model: Optional[EnergyModel] = None,
+    obs: Optional[Observability] = None,
+) -> RunRecord:
+    """Simulate a standalone trace (no workload registry entry).
+
+    The front door for imported traces (:mod:`repro.ingest`) and traces
+    loaded via :func:`repro.trace.io.load_trace`: builds the spec's LLC
+    over the trace's own regions, runs the full system under the chosen
+    engine, and returns the same :class:`RunRecord` shape the memoized
+    workload pipeline produces — so replayed results serialize, compare
+    and report identically.
+
+    Raises:
+        SimulationFault: the simulation failed (no cross-engine
+            fallback here — callers replaying a trace pick the engine
+            deliberately).
+    """
+    spec = spec if spec is not None else baseline_spec()
+    obs = obs or Observability.disabled()
+    llc = spec.build_llc(trace.regions, size_factor)
+    injector = FaultInjector(spec.faults) if spec.faults is not None else None
+    system = System(llc, tracer=obs.tracer, faults=injector)
+    start_ns = perf_counter_ns()
+    try:
+        result = system.run(trace, engine=engine)
+    except Exception as exc:
+        raise SimulationFault(
+            f"replay of trace {trace.name!r} failed under {spec.label()}: {exc}"
+        ) from exc
+    wall_ns = perf_counter_ns() - start_ns
+    energy = (energy_model or EnergyModel()).dynamic_energy(
+        llc, cycles=result.cycles
+    )
+    return RunRecord(
+        spec=spec, system=result, energy=energy, llc=llc,
+        wall_ns=wall_ns, accesses=len(trace),
+        faults=injector.summary() if injector is not None else None,
+    )
+
+
 def env_scale(default: float = 1.0) -> float:
     """Dataset scale from ``REPRO_SCALE`` (default 1.0)."""
     return float(os.environ.get("REPRO_SCALE", default))

@@ -231,9 +231,9 @@ class SplitDoppelgangerLLC:
         """Route protocol events of the Doppelgänger half to ``tracer``."""
         self.dopp.tracer = tracer
 
-    def seed_map_memo(self, pairs, values_table) -> int:
+    def seed_map_memo(self, pairs, values_table, stats=None) -> int:
         """Precompute map values for a trace (see engine precompute)."""
-        return self.dopp.seed_map_memo(pairs, values_table)
+        return self.dopp.seed_map_memo(pairs, values_table, stats)
 
     def publish_metrics(self, registry, prefix: str = "llc") -> None:
         """Publish both halves' counters into a metrics registry."""
@@ -306,9 +306,9 @@ class UnifiedDoppelgangerLLC:
         """Route protocol events of the unified cache to ``tracer``."""
         self.uni.tracer = tracer
 
-    def seed_map_memo(self, pairs, values_table) -> int:
+    def seed_map_memo(self, pairs, values_table, stats=None) -> int:
         """Precompute map values for a trace (see engine precompute)."""
-        return self.uni.seed_map_memo(pairs, values_table)
+        return self.uni.seed_map_memo(pairs, values_table, stats)
 
     def publish_metrics(self, registry, prefix: str = "llc") -> None:
         """Publish unified-cache counters into a metrics registry."""

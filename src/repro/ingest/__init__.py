@@ -1,0 +1,62 @@
+"""Trace ingestion: streaming external-format adapters with region inference.
+
+Turns external memory traces — valgrind lackey text, dinero ``.din``,
+generic CSV/JSONL — into first-class
+:class:`~repro.trace.trace.Trace` objects that run through every
+existing experiment. Parsing is chunked and gzip-aware (bounded by
+``chunk_size``, not trace length), regions are inferred by clustering
+the touched address space, and ``[vmin, vmax]`` annotations come from
+embedded values when the format carries them or from pluggable
+synthetic value models when it does not. See ``docs/workloads.md``.
+
+Quick start::
+
+    from repro.ingest import ingest_trace
+
+    trace = ingest_trace("app.lackey.gz", value_model="gradient")
+    record = repro.simulate(trace=trace, config="dopp")
+"""
+
+from repro.ingest.base import RawBatch, TraceAdapter, open_trace_file
+from repro.ingest.infer import (
+    BlockScan,
+    InferredRegion,
+    annotate_regions,
+    cluster_blocks,
+    infer_regions,
+)
+from repro.ingest.pipeline import (
+    ADAPTERS,
+    IngestOptions,
+    adapter_names,
+    detect_format,
+    get_adapter,
+    ingest_trace,
+)
+from repro.ingest.values import (
+    VALUE_MODELS,
+    ValueModel,
+    get_value_model,
+    value_model_names,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "BlockScan",
+    "IngestOptions",
+    "InferredRegion",
+    "RawBatch",
+    "TraceAdapter",
+    "VALUE_MODELS",
+    "ValueModel",
+    "adapter_names",
+    "annotate_regions",
+    "cluster_blocks",
+    "detect_format",
+    "get_adapter",
+    "get_value_model",
+    "infer_regions",
+    "ingest_trace",
+    "open_trace_file",
+    "value_model_names",
+]

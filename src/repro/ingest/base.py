@@ -1,0 +1,182 @@
+"""Streaming adapter substrate for external trace formats.
+
+An adapter turns one external trace file into a stream of
+:class:`RawBatch` column chunks. Parsing is line-oriented and
+chunk-bounded: an adapter never holds more than ``chunk_size`` parsed
+records (plus the one line being parsed) in memory, no matter how large
+the input file is, and gzip-compressed inputs are decompressed on the
+fly. Malformed input surfaces as a typed
+:class:`~repro.errors.TraceFormatError` carrying the file path and
+1-based line number, which the CLI maps to exit code 3.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+
+
+class RawBatch(NamedTuple):
+    """One bounded chunk of parsed accesses, column-wise.
+
+    Attributes:
+        cores: issuing core per access (int8).
+        addrs: byte addresses (int64, not yet block-aligned).
+        is_write: store flags (bool).
+        values: observed element value per access (float64); NaN for
+            address-only formats or records without a value.
+        gaps: non-memory instructions since the previous access (int32).
+    """
+
+    cores: np.ndarray
+    addrs: np.ndarray
+    is_write: np.ndarray
+    values: np.ndarray
+    gaps: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.addrs)
+
+
+#: One parsed record: (core, addr, is_write, value-or-None, gap).
+RawRecord = Tuple[int, int, bool, Optional[float], int]
+
+
+def open_trace_file(path: str):
+    """Open a trace file for streaming text reads, gzip-aware.
+
+    Compression is detected by the ``.gz`` suffix; decompression is
+    streamed (never the whole file at once).
+
+    Raises:
+        TraceFormatError: the file does not exist or cannot be opened.
+    """
+    if not os.path.exists(path):
+        raise TraceFormatError("no such trace file", path=path)
+    try:
+        if path.endswith(".gz"):
+            return io.TextIOWrapper(
+                gzip.open(path, "rb"), encoding="utf-8", errors="replace"
+            )
+        return open(path, "r", encoding="utf-8", errors="replace")
+    except OSError as exc:
+        raise TraceFormatError(
+            f"cannot open trace file ({exc})", path=path
+        ) from exc
+
+
+class _Accumulator:
+    """Bounded record buffer that freezes into :class:`RawBatch` chunks."""
+
+    def __init__(self) -> None:
+        self._records: List[RawRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def add(self, record: RawRecord) -> None:
+        self._records.append(record)
+
+    def flush(self) -> RawBatch:
+        records = self._records
+        self._records = []
+        n = len(records)
+        cores = np.empty(n, dtype=np.int8)
+        addrs = np.empty(n, dtype=np.int64)
+        writes = np.empty(n, dtype=bool)
+        values = np.full(n, np.nan, dtype=np.float64)
+        gaps = np.empty(n, dtype=np.int32)
+        for i, (core, addr, is_write, value, gap) in enumerate(records):
+            cores[i] = core
+            addrs[i] = addr
+            writes[i] = is_write
+            if value is not None:
+                values[i] = value
+            gaps[i] = gap
+        return RawBatch(cores, addrs, writes, values, gaps)
+
+
+class TraceAdapter:
+    """Base class for external-format adapters.
+
+    Subclasses set :attr:`name` / :attr:`suffixes` and implement
+    :meth:`parse_line`, returning zero or more :data:`RawRecord` tuples
+    per input line. The chunked streaming loop, gzip handling and
+    error context live here.
+    """
+
+    #: Registry name (``--format`` value).
+    name: str = ""
+    #: Filename suffixes (before any ``.gz``) that select this adapter.
+    suffixes: Tuple[str, ...] = ()
+    #: Whether the format can carry per-access element values.
+    carries_values: bool = False
+
+    def begin(self) -> dict:
+        """Fresh per-file parser state (adapters stay reusable)."""
+        return {"gap": 0}
+
+    def parse_line(self, line: str, lineno: int, path: str, state: dict):
+        """Parse one input line into an iterable of records.
+
+        Must raise :class:`~repro.errors.TraceFormatError` (with
+        ``path`` and ``lineno``) on malformed input.
+        """
+        raise NotImplementedError
+
+    def iter_batches(self, path: str, chunk_size: int) -> Iterator[RawBatch]:
+        """Stream the file as bounded :class:`RawBatch` chunks.
+
+        Yields batches of at most ``chunk_size`` records; peak parser
+        memory is bounded by the chunk, not the file.
+        """
+        if chunk_size < 1:
+            raise TraceFormatError(
+                f"chunk size must be >= 1, got {chunk_size}", path=path
+            )
+        state = self.begin()
+        acc = _Accumulator()
+        fh = open_trace_file(path)
+        try:
+            lineno = 0
+            try:
+                for line in fh:
+                    lineno += 1
+                    for record in self.parse_line(line, lineno, path, state):
+                        acc.add(record)
+                        if len(acc) >= chunk_size:
+                            yield acc.flush()
+            except (OSError, EOFError, UnicodeDecodeError) as exc:
+                raise TraceFormatError(
+                    f"unreadable trace stream ({exc})", path=path,
+                    line=lineno or None,
+                ) from exc
+        finally:
+            fh.close()
+        if len(acc):
+            yield acc.flush()
+
+
+def parse_int(token: str, base: int, what: str, lineno: int, path: str) -> int:
+    """Parse an integer token, mapping failure to a trace error.
+
+    ``base=0`` auto-detects ``0x`` prefixes (generic formats);
+    ``base=16`` reads bare hex (lackey, dinero).
+    """
+    try:
+        value = int(token, base)
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(
+            f"invalid {what} {token!r}", path=path, line=lineno
+        ) from exc
+    if value < 0:
+        raise TraceFormatError(
+            f"negative {what} {token!r}", path=path, line=lineno
+        )
+    return value

@@ -1,0 +1,56 @@
+"""Dinero IV ``.din`` adapter.
+
+The classic two-column dinero input format::
+
+    0 7fffe8a0
+    1 00401000
+    2 00400500
+
+First column is the access label — ``0`` read, ``1`` write, ``2``
+instruction fetch — second is a hex address (bare or ``0x``-prefixed).
+Instruction fetches are folded into the next data reference's ``gap``.
+Blank lines and ``#`` comments are tolerated; anything else is a
+:class:`~repro.errors.TraceFormatError` with path:line context.
+
+Dinero traces are single-threaded and address-only: the pipeline
+stripes cores and synthesizes values via the configured value model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceFormatError
+from repro.ingest.base import TraceAdapter, parse_int
+
+_READ, _WRITE, _IFETCH = "0", "1", "2"
+
+
+class DineroAdapter(TraceAdapter):
+    """Streaming parser for dinero ``.din`` traces."""
+
+    name = "dinero"
+    suffixes = (".din",)
+    carries_values = False
+
+    def parse_line(self, line: str, lineno: int, path: str, state: dict):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return ()
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise TraceFormatError(
+                f"expected '<label> <addr>', got {stripped!r}",
+                path=path, line=lineno,
+            )
+        label, addr_token = parts
+        if label not in (_READ, _WRITE, _IFETCH):
+            raise TraceFormatError(
+                f"unknown dinero label {label!r} (expected 0, 1 or 2)",
+                path=path, line=lineno,
+            )
+        if label == _IFETCH:
+            state["gap"] += 1
+            return ()
+        addr = parse_int(addr_token, 16, "address", lineno, path)
+        gap = state["gap"]
+        state["gap"] = 0
+        return ((0, addr, label == _WRITE, None, gap),)

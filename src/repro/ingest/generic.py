@@ -1,0 +1,168 @@
+"""Generic CSV and JSONL adapters.
+
+The generic formats are the full-fidelity front door for tools that can
+emit richer traces than lackey/dinero: they may carry per-access
+element values (so region ``[vmin, vmax]`` annotations are derived
+from real data instead of a synthetic value model), core ids and
+instruction gaps.
+
+CSV — a header row names the columns; ``addr`` is required, ``core``,
+``op`` (``r``/``w``, ``0``/``1``, ``l``/``s``), ``value`` and ``gap``
+are optional::
+
+    addr,op,core,value,gap
+    0x10000,r,0,0.25,8
+    0x10040,w,1,0.75,4
+
+JSONL — one object per line with the same keys::
+
+    {"addr": 65536, "op": "r", "value": 0.25, "gap": 8}
+
+Missing optional fields default to core 0, read, no value, gap 0.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.errors import TraceFormatError
+from repro.ingest.base import TraceAdapter, parse_int
+
+#: Accepted ``op`` spellings.
+_READ_OPS = {"r", "l", "0", "read", "load"}
+_WRITE_OPS = {"w", "s", "1", "write", "store"}
+
+
+def _parse_op(token, lineno: int, path: str) -> bool:
+    text = str(token).strip().lower()
+    if text in _READ_OPS:
+        return False
+    if text in _WRITE_OPS:
+        return True
+    raise TraceFormatError(
+        f"invalid op {token!r} (expected r/w, l/s or 0/1)",
+        path=path, line=lineno,
+    )
+
+
+def _parse_value(token, lineno: int, path: str):
+    if token is None:
+        return None
+    text = str(token).strip()
+    if not text:
+        return None
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise TraceFormatError(
+            f"invalid value {token!r}", path=path, line=lineno
+        ) from exc
+
+
+class CSVAdapter(TraceAdapter):
+    """Streaming parser for header-first CSV traces."""
+
+    name = "csv"
+    suffixes = (".csv",)
+    carries_values = True
+
+    def begin(self) -> dict:
+        return {"gap": 0, "columns": None}
+
+    def parse_line(self, line: str, lineno: int, path: str, state: dict):
+        stripped = line.strip()
+        if not stripped:
+            return ()
+        try:
+            row = next(csv.reader(io.StringIO(stripped)))
+        except csv.Error as exc:
+            raise TraceFormatError(
+                f"malformed CSV ({exc})", path=path, line=lineno
+            ) from exc
+        if state["columns"] is None:
+            columns = {name.strip().lower(): i for i, name in enumerate(row)}
+            if "addr" not in columns:
+                raise TraceFormatError(
+                    "CSV header must name an 'addr' column, got "
+                    f"{[c.strip() for c in row]}",
+                    path=path, line=lineno,
+                )
+            state["columns"] = columns
+            return ()
+        columns = state["columns"]
+        if len(row) != len(columns):
+            raise TraceFormatError(
+                f"row has {len(row)} fields, header has {len(columns)}",
+                path=path, line=lineno,
+            )
+
+        def field(name):
+            index = columns.get(name)
+            return row[index] if index is not None else None
+
+        addr = parse_int(field("addr"), 0, "address", lineno, path)
+        core_token = field("core")
+        core = (
+            parse_int(core_token, 0, "core", lineno, path)
+            if core_token not in (None, "")
+            else 0
+        )
+        op_token = field("op")
+        if op_token in (None, ""):
+            op_token = field("is_write")
+        is_write = (
+            _parse_op(op_token, lineno, path)
+            if op_token not in (None, "")
+            else False
+        )
+        value = _parse_value(field("value"), lineno, path)
+        gap_token = field("gap")
+        gap = (
+            parse_int(gap_token, 0, "gap", lineno, path)
+            if gap_token not in (None, "")
+            else 0
+        )
+        return ((core, addr, is_write, value, gap),)
+
+
+class JSONLAdapter(TraceAdapter):
+    """Streaming parser for JSON-lines traces."""
+
+    name = "jsonl"
+    suffixes = (".jsonl", ".ndjson")
+    carries_values = True
+
+    def parse_line(self, line: str, lineno: int, path: str, state: dict):
+        stripped = line.strip()
+        if not stripped:
+            return ()
+        try:
+            obj = json.loads(stripped)
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"malformed JSON ({exc})", path=path, line=lineno
+            ) from exc
+        if not isinstance(obj, dict):
+            raise TraceFormatError(
+                f"expected a JSON object per line, got {type(obj).__name__}",
+                path=path, line=lineno,
+            )
+        if "addr" not in obj:
+            raise TraceFormatError(
+                "record is missing the required 'addr' key",
+                path=path, line=lineno,
+            )
+        addr = parse_int(str(obj["addr"]), 0, "address", lineno, path)
+        core = parse_int(str(obj.get("core", 0)), 0, "core", lineno, path)
+        op_token = obj.get("op", obj.get("is_write"))
+        if isinstance(op_token, bool):
+            is_write = op_token
+        elif op_token is None:
+            is_write = False
+        else:
+            is_write = _parse_op(op_token, lineno, path)
+        value = _parse_value(obj.get("value"), lineno, path)
+        gap = parse_int(str(obj.get("gap", 0)), 0, "gap", lineno, path)
+        return ((core, addr, is_write, value, gap),)

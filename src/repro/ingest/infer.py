@@ -1,0 +1,223 @@
+"""Region inference over raw address streams.
+
+External traces carry no programmer annotations, yet everything
+downstream — map generation over declared ``[vmin, vmax]`` ranges, the
+split precise/approximate LLC, the functional error path — is driven by
+:class:`~repro.trace.region.Region` metadata. Akiyama (arXiv:2004.01637)
+makes the point that identifying *which* data is approximatable is the
+hard part of applying approximate memory to real programs; this module
+reconstructs a best-effort answer from the access stream itself:
+
+1. **Scan** (streaming, bounded): accumulate per-block read/write
+   counts and — for value-carrying formats — first-seen element values.
+   State is bounded by the trace's *footprint* (unique blocks), never
+   its length.
+2. **Cluster**: sort touched blocks and split wherever the gap between
+   consecutive blocks exceeds ``gap_blocks`` — contiguous allocations
+   (arrays, heap arenas) coalesce into one region, distant ones split.
+3. **Annotate**: each cluster becomes a block-aligned ``Region``;
+   ``[vmin, vmax]`` comes from observed values when present, else from
+   the value model's unit range. The ``approx_min_blocks`` knob keeps
+   tiny clusters (locks, counters, stack slots) precise — the
+   conservative default for data whose tolerance is unknown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.ingest.base import RawBatch
+from repro.trace.record import DType
+from repro.trace.region import Region, RegionMap
+
+
+@dataclass
+class BlockScan:
+    """Streaming accumulator over raw batches (footprint-bounded)."""
+
+    block_size: int
+    reads: Counter = field(default_factory=Counter)
+    writes: Counter = field(default_factory=Counter)
+    #: element-address -> first observed value (value-carrying formats).
+    elem_values: Dict[int, float] = field(default_factory=dict)
+    records: int = 0
+
+    def update(self, batch: RawBatch) -> None:
+        """Fold one batch into the per-block statistics."""
+        baddrs = batch.addrs & ~np.int64(self.block_size - 1)
+        w = batch.is_write
+        self.reads.update(baddrs[~w].tolist())
+        self.writes.update(baddrs[w].tolist())
+        seen = ~np.isnan(batch.values)
+        if seen.any():
+            elem_values = self.elem_values
+            for addr, value in zip(
+                batch.addrs[seen].tolist(), batch.values[seen].tolist()
+            ):
+                elem_values.setdefault(addr, value)
+        self.records += len(batch)
+
+    @property
+    def has_values(self) -> bool:
+        return bool(self.elem_values)
+
+    def touched_blocks(self) -> List[int]:
+        """Sorted unique block addresses."""
+        return sorted(self.reads.keys() | self.writes.keys())
+
+
+@dataclass(frozen=True)
+class InferredRegion:
+    """One clustered span of the address space, pre-annotation."""
+
+    base: int
+    size: int
+    blocks: int
+    reads: int
+    writes: int
+
+
+def cluster_blocks(
+    blocks: List[int], block_size: int, gap_blocks: int, scan: BlockScan
+) -> List[InferredRegion]:
+    """Split sorted block addresses into contiguous clusters.
+
+    A new cluster starts wherever consecutive touched blocks are more
+    than ``gap_blocks`` blocks apart. Untouched holes *inside* a
+    cluster stay part of the region (they are plausibly the same
+    allocation, and the value table must cover them for fills).
+    """
+    if not blocks:
+        return []
+    if gap_blocks < 1:
+        raise TraceFormatError(f"gap_blocks must be >= 1, got {gap_blocks}")
+    max_gap = gap_blocks * block_size
+    clusters: List[InferredRegion] = []
+    start = prev = blocks[0]
+    members = [blocks[0]]
+
+    def close(start: int, end_block: int, members: List[int]) -> None:
+        size = end_block + block_size - start
+        clusters.append(
+            InferredRegion(
+                base=start,
+                size=size,
+                blocks=size // block_size,
+                reads=sum(scan.reads.get(b, 0) for b in members),
+                writes=sum(scan.writes.get(b, 0) for b in members),
+            )
+        )
+
+    for block in blocks[1:]:
+        if block - prev > max_gap:
+            close(start, prev, members)
+            start = block
+            members = []
+        members.append(block)
+        prev = block
+    close(start, prev, members)
+    return clusters
+
+
+def annotate_regions(
+    clusters: List[InferredRegion],
+    scan: BlockScan,
+    *,
+    dtype: DType = DType.F32,
+    approx: str = "auto",
+    approx_min_blocks: int = 2,
+) -> RegionMap:
+    """Turn clusters into an annotated :class:`RegionMap`.
+
+    Args:
+        dtype: element type every inferred region is declared as.
+        approx: ``"auto"`` (clusters of at least ``approx_min_blocks``
+            blocks are approximate, smaller ones precise), ``"all"``,
+            or ``"none"``.
+        approx_min_blocks: the ``auto`` threshold.
+
+    ``[vmin, vmax]`` per approximate region: the span of observed
+    element values inside it when the format carried values (widened
+    when degenerate), else the value model's unit range ``[0, 1]``.
+    """
+    if approx not in ("auto", "all", "none"):
+        raise TraceFormatError(
+            f"approx policy must be auto, all or none, got {approx!r}"
+        )
+    # Observed value span per cluster (value-carrying formats only).
+    spans: Dict[int, List[float]] = {}
+    if scan.has_values:
+        bases = [c.base for c in clusters]
+        for addr, value in scan.elem_values.items():
+            i = _cluster_index(bases, addr)
+            if i >= 0 and addr < clusters[i].base + clusters[i].size:
+                span = spans.get(i)
+                if span is None:
+                    spans[i] = [value, value]
+                elif value < span[0]:
+                    span[0] = value
+                elif value > span[1]:
+                    span[1] = value
+
+    regions = RegionMap()
+    for i, cluster in enumerate(clusters):
+        is_approx = (
+            approx == "all"
+            or (approx == "auto" and cluster.blocks >= approx_min_blocks)
+        )
+        vmin, vmax = 0.0, 1.0
+        if i in spans:
+            vmin, vmax = spans[i]
+            if not vmax > vmin:
+                # Degenerate observed span: widen symmetrically so the
+                # Region invariant (vmax > vmin) holds.
+                vmax = vmin + max(abs(vmin), 1.0)
+        regions.add(
+            Region(
+                name=f"r{i}",
+                base=cluster.base,
+                size=cluster.size,
+                dtype=dtype,
+                approx=is_approx,
+                vmin=vmin if is_approx else 0.0,
+                vmax=vmax if is_approx else 0.0,
+            )
+        )
+    return regions
+
+
+def _cluster_index(sorted_bases: List[int], addr: int) -> int:
+    """Index of the last cluster whose base is <= addr, or -1."""
+    import bisect
+
+    return bisect.bisect_right(sorted_bases, addr) - 1
+
+
+def infer_regions(
+    batches: Iterable[RawBatch],
+    *,
+    block_size: int = 64,
+    gap_blocks: int = 64,
+    dtype: DType = DType.F32,
+    approx: str = "auto",
+    approx_min_blocks: int = 2,
+) -> "tuple[RegionMap, BlockScan]":
+    """One-call inference: scan, cluster and annotate.
+
+    Returns the annotated region map plus the scan (the pipeline reuses
+    its element values and record count).
+    """
+    scan = BlockScan(block_size)
+    for batch in batches:
+        scan.update(batch)
+    clusters = cluster_blocks(scan.touched_blocks(), block_size, gap_blocks, scan)
+    regions = annotate_regions(
+        clusters, scan, dtype=dtype, approx=approx,
+        approx_min_blocks=approx_min_blocks,
+    )
+    return regions, scan

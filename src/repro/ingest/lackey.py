@@ -1,0 +1,63 @@
+"""valgrind lackey ``--trace-mem=yes`` adapter.
+
+Lackey prints one line per instruction fetch and per data reference::
+
+    I  04000000,3
+     L 1ffefff968,8
+     S 04222cac,8
+     M 0421d410,4
+
+``I`` lines (instruction fetches, flush left) are folded into the
+``gap`` field of the next data reference — the timing model's count of
+non-memory instructions between references. Data lines are indented:
+``L`` is a load, ``S`` a store, and ``M`` (modify) expands to a load
+followed by a store of the same address. Valgrind's own ``==pid==``
+banner lines and blank lines are skipped, since lackey output is
+routinely captured with them interleaved.
+
+Lackey traces are single-threaded and address-only: the pipeline
+stripes cores and synthesizes values via the configured value model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceFormatError
+from repro.ingest.base import TraceAdapter, parse_int
+
+
+class LackeyAdapter(TraceAdapter):
+    """Streaming parser for valgrind lackey memory traces."""
+
+    name = "lackey"
+    suffixes = (".lackey",)
+    carries_values = False
+
+    def parse_line(self, line: str, lineno: int, path: str, state: dict):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("=="):
+            return ()
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise TraceFormatError(
+                f"expected '<op> <addr>,<size>', got {stripped!r}",
+                path=path, line=lineno,
+            )
+        op, ref = parts
+        if op == "I":
+            state["gap"] += 1
+            return ()
+        if op not in ("L", "S", "M"):
+            raise TraceFormatError(
+                f"unknown lackey op {op!r} (expected I, L, S or M)",
+                path=path, line=lineno,
+            )
+        addr_part = ref.split(",", 1)[0]
+        addr = parse_int(addr_part, 16, "address", lineno, path)
+        gap = state["gap"]
+        state["gap"] = 0
+        if op == "L":
+            return ((0, addr, False, None, gap),)
+        if op == "S":
+            return ((0, addr, True, None, gap),)
+        # M: read-modify-write — a load and a store by one instruction.
+        return ((0, addr, False, None, gap), (0, addr, True, None, 0))

@@ -1,0 +1,95 @@
+"""Synthetic value models for address-only trace formats.
+
+The Doppelgänger map computation (Sec. 3.7) needs element values and a
+declared ``[vmin, vmax]`` per approximate region, but lackey/dinero
+traces carry addresses only. A value model fills that hole: it
+deterministically synthesizes each inferred region's backing data, so
+an address-only trace still exercises map generation, sharing, and the
+full approximate insertion path.
+
+Models produce normalized values in ``[0, 1]``; the pipeline rescales
+them into the region's ``[vmin, vmax]`` (observed from embedded values
+when the format has them, the model's unit range otherwise). The
+choice of model governs how much approximate *sharing* the imported
+trace exhibits — a deliberate experiment knob, documented in
+``docs/workloads.md``:
+
+* ``gradient`` (default) — a smooth ramp across the region with mild
+  noise; neighbouring blocks get near-identical averages, so maps
+  coalesce the way smooth real data (images, field grids) does.
+* ``uniform`` — i.i.d. uniform elements; block averages concentrate
+  (law of large numbers) while ranges stay wide, modelling
+  unstructured data.
+* ``constant`` — every element the midpoint; the degenerate
+  everything-shares case, useful as an upper bound on savings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class ValueModel:
+    """Deterministic per-region element synthesizer (values in [0, 1])."""
+
+    name: str = ""
+
+    def region_values(self, n_elements: int, rng: np.random.Generator) -> np.ndarray:
+        """Normalized element values for one region, shape ``(n_elements,)``."""
+        raise NotImplementedError
+
+
+class GradientModel(ValueModel):
+    """Smooth ramp plus mild noise — neighbouring blocks look similar."""
+
+    name = "gradient"
+
+    def region_values(self, n_elements: int, rng: np.random.Generator) -> np.ndarray:
+        ramp = np.linspace(0.0, 1.0, n_elements, dtype=np.float64)
+        noise = rng.normal(0.0, 0.02, size=n_elements)
+        return np.clip(ramp + noise, 0.0, 1.0)
+
+
+class UniformModel(ValueModel):
+    """Independent uniform elements — unstructured data."""
+
+    name = "uniform"
+
+    def region_values(self, n_elements: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(n_elements)
+
+
+class ConstantModel(ValueModel):
+    """Every element the midpoint — maximal sharing upper bound."""
+
+    name = "constant"
+
+    def region_values(self, n_elements: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n_elements, 0.5, dtype=np.float64)
+
+
+VALUE_MODELS: Dict[str, Type[ValueModel]] = {
+    cls.name: cls for cls in (GradientModel, UniformModel, ConstantModel)
+}
+
+
+def value_model_names() -> list:
+    """Registered value-model names (default first)."""
+    names = sorted(VALUE_MODELS)
+    names.remove(GradientModel.name)
+    return [GradientModel.name] + names
+
+
+def get_value_model(name: str) -> ValueModel:
+    """Instantiate a value model by name."""
+    try:
+        return VALUE_MODELS[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown value model {name!r}; choose from {value_model_names()}",
+            field="value_model",
+        ) from None

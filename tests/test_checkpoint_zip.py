@@ -1,0 +1,128 @@
+"""Single-file zip checkpoint container (see docs/robustness.md)."""
+
+import os
+import zipfile
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.runner import ExperimentContext, baseline_spec, dopp_spec
+from repro.resilience.checkpoint import (
+    ZipSweepJournal,
+    compact_journal,
+    open_journal,
+)
+
+SEED = 3
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    context = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+    context.run("swaptions", baseline_spec())  # warm the memo once
+    return context
+
+
+def fresh_ctx():
+    return ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+
+
+class TestZipJournal:
+    def test_zip_suffix_selects_the_container(self, ctx, tmp_path):
+        journal = open_journal(str(tmp_path / "ckpt.zip"), ctx)
+        assert isinstance(journal, ZipSweepJournal)
+        assert not isinstance(open_journal(str(tmp_path / "ckpt"), ctx),
+                              ZipSweepJournal)
+
+    def test_roundtrip_skips_recompute(self, ctx, tmp_path):
+        path = str(tmp_path / "ckpt.zip")
+        journal = open_journal(path, ctx)
+        spec = baseline_spec()
+        rec = ctx.run("swaptions", spec)
+        journal.record_run("swaptions", spec, rec)
+        journal.record_error("swaptions", dopp_spec(14, 0.25), 0.125)
+        assert zipfile.is_zipfile(path)
+
+        fresh = fresh_ctx()
+        resumed = open_journal(path, fresh)
+        assert resumed.load_into(fresh) == (1, 1)
+        loaded = fresh.run("swaptions", spec)  # memo hit, no simulation
+        assert loaded.system == rec.system
+        assert fresh._errors[("swaptions", dopp_spec(14, 0.25))] == 0.125
+        assert resumed.load_into(fresh) == (0, 0)
+
+    def test_duplicate_append_is_idempotent(self, ctx, tmp_path):
+        path = str(tmp_path / "ckpt.zip")
+        journal = open_journal(path, ctx)
+        rec = ctx.run("swaptions", baseline_spec())
+        journal.record_run("swaptions", baseline_spec(), rec)
+        journal.record_run("swaptions", baseline_spec(), rec)
+        with zipfile.ZipFile(path) as zf:
+            members = [n for n in zf.namelist() if n.endswith(".pkl")]
+        assert len(members) == 1
+
+    def test_meta_mismatch_is_a_config_error(self, ctx, tmp_path):
+        path = str(tmp_path / "ckpt.zip")
+        open_journal(path, ctx).record_error(
+            "swaptions", dopp_spec(14, 0.25), 0.5
+        )
+        other = ExperimentContext(
+            seed=SEED + 1, scale=SCALE, workloads=["swaptions"]
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            open_journal(path, other)
+        assert excinfo.value.exit_code == 2
+
+    def test_adopts_loose_directory_journal(self, ctx, tmp_path):
+        # A sweep journaled to a directory, later resumed as a container
+        # at <dir>.zip: the loose pickles are merged transparently.
+        directory = str(tmp_path / "ckpt")
+        loose = open_journal(directory, ctx)
+        rec = ctx.run("swaptions", baseline_spec())
+        loose.record_run("swaptions", baseline_spec(), rec)
+
+        fresh = fresh_ctx()
+        container = open_journal(directory + ".zip", fresh)
+        assert container.load_into(fresh) == (1, 0)
+        assert fresh.run("swaptions", baseline_spec()).system == rec.system
+
+    def test_corrupt_container_is_quarantined(self, ctx, tmp_path):
+        path = str(tmp_path / "ckpt.zip")
+        with open(path, "wb") as fh:
+            fh.write(b"definitely not a zip")
+        journal = open_journal(path, ctx)  # quarantines, does not raise
+        assert os.path.exists(path + ".corrupt")
+        rec = ctx.run("swaptions", baseline_spec())
+        journal.record_run("swaptions", baseline_spec(), rec)
+        fresh = fresh_ctx()
+        assert open_journal(path, fresh).load_into(fresh) == (1, 0)
+
+    def test_corrupt_member_is_skipped(self, ctx, tmp_path):
+        path = str(tmp_path / "ckpt.zip")
+        journal = open_journal(path, ctx)
+        journal.record_error("swaptions", dopp_spec(14, 0.25), 0.5)
+        with zipfile.ZipFile(path, "a") as zf:
+            zf.writestr("run-swaptions-deadbeefdeadbeef.pkl", b"garbage")
+        fresh = fresh_ctx()
+        assert open_journal(path, fresh).load_into(fresh) == (0, 1)
+
+
+class TestCompact:
+    def test_compacts_directory_into_container(self, ctx, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        journal = open_journal(directory, ctx)
+        rec = ctx.run("swaptions", baseline_spec())
+        journal.record_run("swaptions", baseline_spec(), rec)
+        journal.record_error("swaptions", dopp_spec(14, 0.25), 0.25)
+
+        packed = compact_journal(directory)
+        assert packed == directory + ".zip"
+        fresh = fresh_ctx()
+        # Move the loose directory away: the container alone must do.
+        os.rename(directory, directory + ".bak")
+        assert open_journal(packed, fresh).load_into(fresh) == (1, 1)
+
+    def test_missing_directory_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            compact_journal(str(tmp_path / "nope"))

@@ -1,0 +1,154 @@
+"""Format adapters: parsing, streaming bounds, and malformed input.
+
+The good fixtures under ``tests/fixtures/ingest/`` are committed (CI's
+ingest-smoke job replays them too); each has a malformed twin whose
+error line is known, so path:line context can be asserted exactly.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import TraceFormatError
+from repro.ingest import get_adapter, open_trace_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "ingest")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+def drain(adapter_name: str, path: str, chunk: int = 64):
+    """All batches of a fixture, asserting the chunk bound throughout."""
+    adapter = get_adapter(adapter_name)
+    batches = list(adapter.iter_batches(path, chunk))
+    assert batches, "fixture produced no batches"
+    assert all(len(b) <= chunk for b in batches)
+    return batches
+
+
+def concat(batches, column: str) -> np.ndarray:
+    return np.concatenate([getattr(b, column) for b in batches])
+
+
+class TestLackey:
+    def test_record_accounting(self):
+        # 160 iterations of L+S, plus 32 M lines (two records each).
+        batches = drain("lackey", fixture("tiny.lackey"))
+        total = sum(len(b) for b in batches)
+        assert total == 160 * 2 + 32 * 2
+        writes = concat(batches, "is_write")
+        # Each M contributes one read and one write.
+        assert int(writes.sum()) == 160 + 32
+
+    def test_ifetches_fold_into_gaps(self):
+        batches = drain("lackey", fixture("tiny.lackey"))
+        gaps = concat(batches, "gaps")
+        # Every I line becomes exactly one gap instruction (32 of them).
+        assert int(gaps.sum()) == 32
+        assert gaps.min() >= 0
+
+    def test_banner_and_blank_lines_skipped(self, tmp_path):
+        p = tmp_path / "t.lackey"
+        p.write_text("==99== banner\n\n L 1000,8\n")
+        (batch,) = drain("lackey", str(p))
+        assert len(batch) == 1
+        assert batch.addrs[0] == 0x1000
+
+    def test_gzip_twin_is_identical(self):
+        plain = drain("lackey", fixture("tiny.lackey"))
+        gz = drain("lackey", fixture("tiny.lackey.gz"))
+        for col in ("cores", "addrs", "is_write", "gaps"):
+            np.testing.assert_array_equal(concat(plain, col), concat(gz, col))
+
+    def test_values_are_nan_for_address_only_format(self):
+        batches = drain("lackey", fixture("tiny.lackey"))
+        assert np.isnan(concat(batches, "values")).all()
+
+
+class TestDinero:
+    def test_record_accounting(self):
+        batches = drain("dinero", fixture("tiny.din"))
+        assert sum(len(b) for b in batches) == 120 * 2
+        writes = concat(batches, "is_write")
+        assert int(writes.sum()) == 120
+        # 20 ifetch lines folded into gaps.
+        assert int(concat(batches, "gaps").sum()) == 20
+
+    def test_comments_skipped(self, tmp_path):
+        p = tmp_path / "t.din"
+        p.write_text("# comment\n0 1000\n")
+        (batch,) = drain("dinero", str(p))
+        assert len(batch) == 1 and not batch.is_write[0]
+
+
+class TestGeneric:
+    def test_csv_carries_values_cores_and_gaps(self):
+        batches = drain("csv", fixture("tiny.csv"))
+        assert sum(len(b) for b in batches) == 200
+        values = concat(batches, "values")
+        assert not np.isnan(values).any()
+        assert set(concat(batches, "cores").tolist()) == {0, 1}
+        assert concat(batches, "gaps").max() == 3
+
+    def test_csv_optional_columns_default(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("addr\n0x1000\n4096\n")
+        (batch,) = drain("csv", str(p))
+        assert batch.addrs.tolist() == [0x1000, 4096]
+        assert not batch.is_write.any()
+        assert np.isnan(batch.values).all()
+
+    def test_jsonl_fixture(self):
+        batches = drain("jsonl", fixture("tiny.jsonl"))
+        assert sum(len(b) for b in batches) == 150
+        assert not np.isnan(concat(batches, "values")).any()
+
+    def test_jsonl_bool_is_write(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"addr": 64, "is_write": true}\n{"addr": 128}\n')
+        (batch,) = drain("jsonl", str(p))
+        assert batch.is_write.tolist() == [True, False]
+
+
+class TestMalformed:
+    """Each bad fixture fails on a known line with path:line context."""
+
+    CASES = [
+        ("lackey", "bad.lackey", 3, "invalid address"),
+        ("dinero", "bad.din", 2, "unknown dinero label"),
+        ("csv", "bad.csv", 3, "fields"),
+        ("jsonl", "bad.jsonl", 2, "addr"),
+    ]
+
+    @pytest.mark.parametrize("adapter,name,line,needle", CASES)
+    def test_adapter_raises_with_line_context(self, adapter, name, line, needle):
+        path = fixture(name)
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(get_adapter(adapter).iter_batches(path, 64))
+        assert excinfo.value.exit_code == 3
+        msg = str(excinfo.value)
+        assert f"{name}:{line}:" in msg
+        assert needle in msg
+
+    @pytest.mark.parametrize("adapter,name,line,needle", CASES)
+    def test_cli_exits_3_with_context(self, adapter, name, line, needle, capsys):
+        assert main(["ingest", fixture(name), "--format", adapter]) == 3
+        err = capsys.readouterr().err
+        assert f"{name}:{line}:" in err
+
+    def test_missing_file(self):
+        with pytest.raises(TraceFormatError) as excinfo:
+            open_trace_file(fixture("does-not-exist.lackey"))
+        assert "no such trace file" in str(excinfo.value)
+        assert excinfo.value.exit_code == 3
+
+    def test_negative_address_rejected(self, tmp_path):
+        p = tmp_path / "t.csv"
+        p.write_text("addr\n-64\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            list(get_adapter("csv").iter_batches(str(p), 64))
+        assert "negative address" in str(excinfo.value)

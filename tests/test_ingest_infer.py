@@ -1,0 +1,177 @@
+"""Region inference and synthetic value models."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, TraceFormatError
+from repro.ingest import (
+    BlockScan,
+    RawBatch,
+    annotate_regions,
+    cluster_blocks,
+    get_value_model,
+    infer_regions,
+    value_model_names,
+)
+
+BS = 64
+
+
+def make_batch(addrs, is_write=None, values=None, cores=None, gaps=None):
+    n = len(addrs)
+    return RawBatch(
+        cores=np.asarray(cores if cores is not None else [0] * n, dtype=np.int8),
+        addrs=np.asarray(addrs, dtype=np.int64),
+        is_write=np.asarray(
+            is_write if is_write is not None else [False] * n, dtype=bool
+        ),
+        values=np.asarray(
+            values if values is not None else [np.nan] * n, dtype=np.float64
+        ),
+        gaps=np.asarray(gaps if gaps is not None else [0] * n, dtype=np.int32),
+    )
+
+
+def scan_of(addrs, **kw):
+    scan = BlockScan(BS)
+    scan.update(make_batch(addrs, **kw))
+    return scan
+
+
+class TestClustering:
+    def test_contiguous_blocks_coalesce(self):
+        addrs = [0x1000 + i * BS for i in range(8)]
+        scan = scan_of(addrs)
+        clusters = cluster_blocks(scan.touched_blocks(), BS, 4, scan)
+        assert len(clusters) == 1
+        assert clusters[0].base == 0x1000
+        assert clusters[0].blocks == 8
+
+    def test_split_at_large_gap(self):
+        addrs = [0x1000, 0x1000 + BS, 0x100000]
+        scan = scan_of(addrs)
+        clusters = cluster_blocks(scan.touched_blocks(), BS, 4, scan)
+        assert [c.base for c in clusters] == [0x1000, 0x100000]
+
+    def test_hole_within_gap_stays_one_region(self):
+        # Blocks 0 and 3 touched, hole of 2 blocks <= gap_blocks=4.
+        addrs = [0x0, 3 * BS]
+        scan = scan_of(addrs)
+        (cluster,) = cluster_blocks(scan.touched_blocks(), BS, 4, scan)
+        assert cluster.size == 4 * BS  # hole included
+        assert cluster.blocks == 4
+
+    def test_read_write_counts(self):
+        scan = scan_of([0x0, 0x0, BS], is_write=[False, True, True])
+        (cluster,) = cluster_blocks(scan.touched_blocks(), BS, 4, scan)
+        assert (cluster.reads, cluster.writes) == (1, 2)
+
+    def test_bad_gap_blocks(self):
+        scan = scan_of([0x0])
+        with pytest.raises(TraceFormatError):
+            cluster_blocks(scan.touched_blocks(), BS, 0, scan)
+
+
+class TestAnnotation:
+    def infer(self, addrs, **kw):
+        return infer_regions([make_batch(addrs)], block_size=BS, **kw)
+
+    def test_auto_policy_keeps_small_clusters_precise(self):
+        # One 4-block cluster, one single-block cluster far away.
+        addrs = [i * BS for i in range(4)] + [0x100000]
+        regions, _ = self.infer(addrs, approx_min_blocks=2)
+        assert [r.approx for r in regions] == [True, False]
+
+    def test_all_and_none_policies(self):
+        addrs = [0x0, 0x100000]
+        all_regions, _ = self.infer(addrs, approx="all")
+        assert all(r.approx for r in all_regions)
+        none_regions, _ = self.infer(addrs, approx="none")
+        assert not any(r.approx for r in none_regions)
+
+    def test_unknown_policy(self):
+        with pytest.raises(TraceFormatError):
+            self.infer([0x0], approx="sometimes")
+
+    def test_synthetic_range_is_unit(self):
+        regions, _ = self.infer([0x0, BS])
+        (region,) = regions
+        assert (region.vmin, region.vmax) == (0.0, 1.0)
+
+    def test_embedded_values_drive_range(self):
+        batch = make_batch([0x0, BS, 2 * BS], values=[-3.5, 2.0, 7.25])
+        regions, scan = infer_regions([batch], block_size=BS)
+        assert scan.has_values
+        (region,) = regions
+        assert (region.vmin, region.vmax) == (-3.5, 7.25)
+
+    def test_degenerate_span_is_widened(self):
+        batch = make_batch([0x0, BS], values=[4.0, 4.0])
+        regions, _ = infer_regions([batch], block_size=BS)
+        (region,) = regions
+        assert region.vmin == 4.0 and region.vmax > region.vmin
+
+    def test_values_outside_any_cluster_are_ignored(self):
+        scan = scan_of([0x0, BS], values=[1.0, 2.0])
+        clusters = cluster_blocks([0], BS, 4, scan)  # only block 0
+        regions = annotate_regions(clusters, scan)
+        assert len(regions) == 1
+        (region,) = regions
+        assert region.vmax >= region.vmin
+
+
+class TestValueModels:
+    def test_registry(self):
+        names = value_model_names()
+        assert names[0] == "gradient"
+        assert set(names) == {"gradient", "uniform", "constant"}
+
+    @pytest.mark.parametrize("name", ["gradient", "uniform", "constant"])
+    def test_models_are_normalized_and_deterministic(self, name):
+        model = get_value_model(name)
+        a = model.region_values(256, np.random.default_rng(5))
+        b = model.region_values(256, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0.0 and a.max() <= 1.0
+
+    def test_unknown_model_is_config_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            get_value_model("sawtooth")
+        assert excinfo.value.exit_code == 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    addrs=st.lists(
+        st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=120
+    ),
+    gap_blocks=st.integers(min_value=1, max_value=32),
+)
+def test_inference_invariants(addrs, gap_blocks):
+    """Clusters tile the touched footprint for any address stream."""
+    regions, scan = infer_regions(
+        [make_batch(addrs)], block_size=BS, gap_blocks=gap_blocks
+    )
+    touched = scan.touched_blocks()
+    assert touched == sorted({a & ~(BS - 1) for a in addrs})
+    # Every touched block falls inside exactly one region.
+    for block in touched:
+        hits = [
+            r for r in regions if r.base <= block < r.base + r.size
+        ]
+        assert len(hits) == 1
+    # Regions are sorted, disjoint, block-aligned.
+    spans = [(r.base, r.base + r.size) for r in regions]
+    assert spans == sorted(spans)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start
+    assert all(r.base % BS == 0 and r.size % BS == 0 for r in regions)
+    # Per-block counters cover every access exactly once.
+    counted = Counter()
+    counted.update(scan.reads)
+    counted.update(scan.writes)
+    assert sum(counted.values()) == len(addrs)

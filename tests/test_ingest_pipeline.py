@@ -1,0 +1,173 @@
+"""End-to-end ingestion: pipeline, engines, round-trips, CLI, memory bound."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import main
+from repro.errors import ConfigError, TraceFormatError
+from repro.ingest import IngestOptions, detect_format, ingest_trace
+from repro.trace.io import load_trace, save_trace
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "ingest")
+
+
+def fixture(name: str) -> str:
+    return os.path.join(FIXTURES, name)
+
+
+ALL_FORMATS = [
+    ("tiny.lackey", "lackey"),
+    ("tiny.lackey.gz", "lackey"),
+    ("tiny.din", "dinero"),
+    ("tiny.csv", "csv"),
+    ("tiny.jsonl", "jsonl"),
+]
+
+
+class TestPipeline:
+    def test_detect_format(self):
+        for name, expected in ALL_FORMATS:
+            assert detect_format(fixture(name)) == expected
+        with pytest.raises(TraceFormatError):
+            detect_format("trace.xyz")
+
+    @pytest.mark.parametrize("name,fmt", ALL_FORMATS)
+    def test_every_format_builds_a_valid_trace(self, name, fmt):
+        trace = ingest_trace(fixture(name))
+        stats = trace.ingest_stats
+        assert stats["format"] == fmt
+        assert stats["records"] == len(trace) > 0
+        assert stats["regions"] >= 1
+        # The engines' fill invariant: every approximate access's block
+        # is covered by the initial memory image.
+        approx_blocks = set(
+            (trace.addrs[trace.approx] & ~np.int64(63)).tolist()
+        )
+        assert approx_blocks <= set(trace.initial_image)
+
+    def test_bounded_memory_on_fixture_larger_than_chunk(self):
+        # tiny.lackey holds 384 records; chunk 64 forces multiple
+        # batches and the peak parsed batch must respect the bound.
+        trace = ingest_trace(fixture("tiny.lackey"), chunk_size=64)
+        stats = trace.ingest_stats
+        assert stats["records"] > stats["chunk_size"] == 64
+        assert stats["batches"] > 1
+        assert stats["max_batch"] <= 64
+
+    def test_chunk_size_does_not_change_the_trace(self):
+        small = ingest_trace(fixture("tiny.din"), chunk_size=7)
+        large = ingest_trace(fixture("tiny.din"), chunk_size=100000)
+        np.testing.assert_array_equal(small.addrs, large.addrs)
+        np.testing.assert_array_equal(small.region_ids, large.region_ids)
+        assert small.initial_image == large.initial_image
+
+    def test_ingestion_is_deterministic(self):
+        a = ingest_trace(fixture("tiny.lackey"))
+        b = ingest_trace(fixture("tiny.lackey"))
+        np.testing.assert_array_equal(a.addrs, b.addrs)
+        for va, vb in zip(a.values, b.values):
+            np.testing.assert_array_equal(va, vb)
+
+    def test_embedded_values_reach_the_value_table(self):
+        trace = ingest_trace(fixture("tiny.csv"))
+        assert trace.ingest_stats["embedded_values"]
+        assert trace.ingest_stats["value_model"] is None
+        (region,) = [r for r in trace.regions if r.approx]
+        # Observed span drives the annotation (values in [-2, 6)).
+        assert region.vmin < 0 and region.vmax > 1
+
+    def test_core_striping(self):
+        trace = ingest_trace(fixture("tiny.din"), cores=4)
+        assert set(trace.cores.tolist()) == {0, 1, 2, 3}
+
+    def test_name_defaults_to_stem(self):
+        assert ingest_trace(fixture("tiny.lackey.gz")).name == "tiny"
+        named = ingest_trace(fixture("tiny.lackey"), name="imported")
+        assert named.name == "imported"
+
+    def test_empty_input_rejected(self, tmp_path):
+        p = tmp_path / "empty.lackey"
+        p.write_text("==1== banner only\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            ingest_trace(str(p))
+        assert "no memory accesses" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            ({"chunk_size": 0}, "chunk_size"),
+            ({"block_size": 48}, "block_size"),
+            ({"gap_blocks": 0}, "gap_blocks"),
+            ({"cores": 0}, "cores"),
+            ({"approx_min_blocks": 0}, "approx_min_blocks"),
+        ],
+    )
+    def test_option_validation(self, kwargs, field):
+        with pytest.raises(ConfigError) as excinfo:
+            IngestOptions(**kwargs)
+        assert excinfo.value.field == field
+
+
+class TestReplay:
+    @pytest.mark.parametrize("name,fmt", ALL_FORMATS)
+    def test_both_engines_bit_identical(self, name, fmt):
+        trace = ingest_trace(fixture(name), chunk_size=64)
+        batched = repro.simulate(trace=trace, config="dopp", engine="batched")
+        reference = repro.simulate(trace=trace, config="dopp", engine="reference")
+        assert batched.system.to_dict() == reference.system.to_dict()
+
+    def test_npz_round_trip_replays_identically(self, tmp_path):
+        trace = ingest_trace(fixture("tiny.lackey"))
+        before = repro.simulate(trace=trace, config="dopp")
+        path = str(tmp_path / "t.npz")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.addrs, trace.addrs)
+        assert loaded.initial_image == trace.initial_image
+        after = repro.simulate(trace=loaded, config="dopp")
+        assert after.system.to_dict() == before.system.to_dict()
+
+    def test_simulate_accepts_paths(self, tmp_path):
+        by_file = repro.simulate(trace=fixture("tiny.din"), config="uni")
+        trace = ingest_trace(fixture("tiny.din"))
+        by_object = repro.simulate(trace=trace, config="uni")
+        assert by_file.system.to_dict() == by_object.system.to_dict()
+        npz = str(tmp_path / "t.npz")
+        save_trace(trace, npz)
+        by_npz = repro.simulate(trace=npz, config="uni")
+        assert by_npz.system.to_dict() == by_object.system.to_dict()
+
+    def test_simulate_requires_exactly_one_source(self):
+        with pytest.raises(ConfigError):
+            repro.simulate()
+        with pytest.raises(ConfigError):
+            repro.simulate("jpeg", trace=fixture("tiny.din"))
+
+
+class TestCLI:
+    def test_ingest_writes_and_verifies_both_engines(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        rc = main(
+            ["ingest", fixture("tiny.lackey"), "--out", out,
+             "--chunk", "64", "--simulate"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "engines agree bit-identically" in text
+        assert os.path.exists(out)
+
+    def test_replay_both_engines(self, tmp_path, capsys):
+        out = str(tmp_path / "t.npz")
+        save_trace(ingest_trace(fixture("tiny.csv")), out)
+        assert main(["replay", out, "--config", "dopp", "--engine", "both"]) == 0
+        assert "engines agree bit-identically" in capsys.readouterr().out
+
+    def test_missing_input_exits_3(self, tmp_path, capsys):
+        assert main(["ingest", str(tmp_path / "nope.lackey")]) == 3
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_bad_knob_exits_2(self, capsys):
+        assert main(["ingest", fixture("tiny.din"), "--chunk", "0"]) == 2
