@@ -320,6 +320,12 @@ def _main_ingest(argv) -> int:
         help="stripe single-threaded formats across N cores (default 1)",
     )
     parser.add_argument(
+        "--no-spill",
+        action="store_true",
+        help="re-stream gzip inputs per pass instead of decompressing "
+        "once into a temporary spill file",
+    )
+    parser.add_argument(
         "--simulate",
         action="store_true",
         help="replay the imported trace after ingesting",
@@ -351,6 +357,7 @@ def _main_ingest(argv) -> int:
         seed=args.seed,
         cores=args.cores,
         name=args.name,
+        spill=not args.no_spill,
     )
     trace = ingest_trace(args.input, options)
     stats = trace.ingest_stats
@@ -407,6 +414,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="prefetch simulations across N worker processes (default 1)",
+    )
+    parser.add_argument(
+        "--no-split-fans",
+        action="store_true",
+        help="keep one --jobs task per workload instead of splitting a "
+        "workload's config fan across idle workers (results are "
+        "identical either way)",
     )
     resil = parser.add_argument_group(
         "resilience", "crash-tolerant sweeps (docs/robustness.md)"
@@ -679,6 +693,7 @@ def _dispatch(argv) -> int:
             fetched = prefetch_runs(
                 ctx, names, args.jobs,
                 timeout=args.timeout, retries=args.retries, journal=journal,
+                split_fans=not args.no_split_fans,
             )
             if fetched:
                 print(f"[prefetched {fetched} runs across {args.jobs} jobs]")

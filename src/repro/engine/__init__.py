@@ -5,11 +5,13 @@ Two engines share one per-access slow path (:mod:`repro.engine.step`):
 * ``reference`` — the straightforward interpreter: every trace record
   walks the full coherence + hierarchy slow path, one at a time.
 * ``batched`` — the production engine: trace columns are converted and
-  pre-masked in bulk (numpy) against each core's L2 resident set, and
-  read hits in the private L1/L2 are retired on an inline fast path;
-  only misses, writes and coherence-relevant accesses fall through to
-  the shared slow path. Produces *bit-identical* results (stats, cycle
-  counts, stall breakdowns) — enforced by
+  pre-masked in bulk, and nearly every access class retires on an
+  inline fast path — private hits, LLC hits, DRAM fills with eviction
+  and back-invalidation, adapter-protocol fills, store coherence —
+  with per-class tallies published as ``system.engine_stats`` (see
+  ``docs/engine.md``); only a handful of entangled cases fall through
+  to the shared slow path. Produces *bit-identical* results (stats,
+  cycle counts, stall breakdowns) — enforced by
   ``tests/test_engine_equivalence.py`` — and transparently falls back
   to ``reference`` for configurations whose arithmetic or replacement
   policy cannot be batched exactly (non-power-of-two issue width,

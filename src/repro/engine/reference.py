@@ -35,4 +35,11 @@ def run(system, trace, limit: Optional[int] = None):
             system, st, cores[i], baddrs[i], writes[i], approxes[i],
             region_ids[i], value_ids[i], gaps[i],
         )
+    system.engine_stats = {
+        "engine": "reference",
+        "accesses": n,
+        "fast": {},
+        "slow": {"interpreted": n},
+        "slow_fraction": 1.0 if n else 0.0,
+    }
     return finalize(system, st)

@@ -19,7 +19,14 @@ tables and BENCH rows as ``--jobs 1``.
 
 Workers are spawned per workload (one task covers all of a workload's
 configs) so the expensive trace generation happens once per worker,
-mirroring the parent's memoization.
+mirroring the parent's memoization. When there are fewer workloads
+than ``--jobs`` workers — the ROADMAP-noted imbalance when sweeping
+few workloads on many cores — each workload's config fan is split
+into (workload, config-chunk) units so every worker gets a slice;
+each chunk worker regenerates its workload's trace, a cost that only
+pays off when cores would otherwise sit idle, which is exactly the
+case the split is gated on. ``--no-split-fans`` restores
+one-task-per-workload.
 
 Resilience (``docs/robustness.md``): a worker that dies (OOM kill,
 segfault) or exceeds ``timeout`` no longer hangs or poisons the whole
@@ -113,6 +120,31 @@ def _run_task(task: dict):
     return name, runs, errors
 
 
+def _split_fan(task: dict, nchunks: int) -> List[dict]:
+    """Split one workload task's config fan into ``nchunks`` units.
+
+    Specs are dealt round-robin (``[k::nchunks]``) so heterogeneous
+    per-config costs spread across chunks; empty chunks are dropped.
+    Chunking never changes results — every (workload, spec) pair is
+    simulated from the same fresh per-worker context regardless of
+    which unit carries it, and the parent merges records into the same
+    memo keys.
+    """
+    run_specs = task["run_specs"]
+    error_specs = task["error_specs"]
+    nchunks = max(1, min(nchunks, max(len(run_specs), len(error_specs), 1)))
+    if nchunks == 1:
+        return [task]
+    units = []
+    for k in range(nchunks):
+        unit = dict(task)
+        unit["run_specs"] = run_specs[k::nchunks]
+        unit["error_specs"] = error_specs[k::nchunks]
+        if unit["run_specs"] or unit["error_specs"]:
+            units.append(unit)
+    return units
+
+
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down even if its workers are wedged.
 
@@ -189,6 +221,7 @@ def prefetch_runs(
     retries: int = 0,
     backoff: float = 1.0,
     journal=None,
+    split_fans: bool = True,
 ) -> int:
     """Simulate everything ``experiment_names`` will need, in parallel.
 
@@ -207,6 +240,11 @@ def prefetch_runs(
         retries: rounds to re-run failed tasks in a fresh pool.
         backoff: base delay before retry ``k``, growing as
             ``backoff * 2**(k-1)`` seconds.
+        split_fans: when there are fewer workloads than ``jobs``, split
+            each workload's config fan into (workload, config-chunk)
+            units so every worker gets a slice (see :func:`_split_fan`;
+            results are identical either way). False restores
+            one-task-per-workload.
         journal: optional
             :class:`~repro.resilience.checkpoint.SweepJournal`; every
             merged record is journaled as it lands, so a killed sweep
@@ -245,6 +283,18 @@ def prefetch_runs(
             )
     if not tasks:
         return 0
+    if split_fans and len(tasks) < int(jobs):
+        want = -(-int(jobs) // len(tasks))  # ceil: chunks per workload
+        units: List[dict] = []
+        for task in tasks:
+            units.extend(_split_fan(task, want))
+        if len(units) > len(tasks):
+            log.info(
+                "splitting %d workload fans into %d (workload, "
+                "config-chunk) units for %d workers",
+                len(tasks), len(units), int(jobs),
+            )
+        tasks = units
     fetched = 0
     workers = max(1, min(int(jobs), len(tasks)))
     log.info(

@@ -197,6 +197,10 @@ class RunRecord:
     #: Engine that produced the result when it differs from the one
     #: requested (the batched engine degraded to the reference).
     engine_used: Optional[str] = None
+    #: Per-class fast/slow-path tallies published by the engine
+    #: (``system.engine_stats``; see ``docs/engine.md``). None for
+    #: records produced before this field existed (old checkpoints).
+    engine_stats: Optional[dict] = None
 
     @property
     def cycles(self) -> int:
@@ -227,6 +231,11 @@ class RunRecord:
             out["faults"] = self.faults
         if self.engine_used is not None:
             out["engine_used"] = self.engine_used
+        # getattr: records unpickled from pre-engine_stats checkpoint
+        # journals lack the attribute entirely.
+        engine_stats = getattr(self, "engine_stats", None)
+        if engine_stats is not None:
+            out["engine_stats"] = engine_stats
         return out
 
 
@@ -273,6 +282,7 @@ def run_trace(
         spec=spec, system=result, energy=energy, llc=llc,
         wall_ns=wall_ns, accesses=len(trace),
         faults=injector.summary() if injector is not None else None,
+        engine_stats=getattr(system, "engine_stats", None),
     )
 
 
@@ -378,7 +388,8 @@ class ExperimentContext:
     def _simulate(self, name: str, spec: ConfigSpec, trace):
         """Build and run one system, degrading to the reference engine.
 
-        Returns ``(result, llc, injector, engine_used)``. A batched
+        Returns ``(result, llc, injector, engine_used, engine_stats)``.
+        A batched
         failure rebuilds the hierarchy (the failed run mutated it) and
         replays under the reference interpreter, logged and traced as
         an ``engine_fallback`` event; if the reference fails too — or
@@ -404,7 +415,10 @@ class ExperimentContext:
         llc, injector, system = build()
         try:
             result = system.run(trace, engine=self.engine)
-            return result, llc, injector, None
+            return (
+                result, llc, injector, None,
+                getattr(system, "engine_stats", None),
+            )
         except Exception as exc:
             if self.engine == "reference":
                 raise SimulationFault(
@@ -429,7 +443,10 @@ class ExperimentContext:
                 f"simulation failed under both engines for {name}/{label}: "
                 f"{exc}"
             ) from exc
-        return result, llc, injector, "reference"
+        return (
+            result, llc, injector, "reference",
+            getattr(system, "engine_stats", None),
+        )
 
     def run(self, name: str, spec: ConfigSpec) -> RunRecord:
         """Simulate one (workload, config); memoized."""
@@ -441,8 +458,8 @@ class ExperimentContext:
             self.log.info("simulating %s under %s", name, label)
             with self.obs.profiler.phase(f"sim/{name}/{label}"):
                 start_ns = perf_counter_ns()
-                result, llc, injector, engine_used = self._simulate(
-                    name, spec, trace
+                result, llc, injector, engine_used, engine_stats = (
+                    self._simulate(name, spec, trace)
                 )
                 wall_ns = perf_counter_ns() - start_ns
             with self.obs.profiler.phase(f"energy/{name}/{label}"):
@@ -452,6 +469,7 @@ class ExperimentContext:
                 wall_ns=wall_ns, accesses=len(trace),
                 faults=injector.summary() if injector is not None else None,
                 engine_used=engine_used,
+                engine_stats=engine_stats,
             )
         return self._runs[key]
 
@@ -554,6 +572,12 @@ class ExperimentContext:
                 row["faults"] = rec.faults
             if rec.engine_used is not None:
                 row["engine_used"] = rec.engine_used
+            # getattr: records resumed from pre-engine_stats checkpoint
+            # journals lack the attribute entirely.
+            engine_stats = getattr(rec, "engine_stats", None)
+            if engine_stats is not None:
+                row["slow_path_fraction"] = engine_stats.get("slow_fraction")
+                row["engine_stats"] = engine_stats
             out.append(row)
         return out
 

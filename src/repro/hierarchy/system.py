@@ -364,10 +364,32 @@ class System:
                 "back_invalidations": self.back_invalidations,
             },
         )
+        registry.register_source(
+            f"{prefix}.engine", self._engine_metrics
+        )
         if self.fault_injector is not None:
             registry.register_source(
                 f"{prefix}.faults", self.fault_injector.as_metrics
             )
+
+    def _engine_metrics(self) -> Dict[str, float]:
+        """Flattened per-class fast/slow-path tallies (lazy source).
+
+        Empty until a run finishes — the engine attaches
+        ``engine_stats`` to the system at the end of ``run()``
+        (see ``docs/engine.md``).
+        """
+        stats = getattr(self, "engine_stats", None)
+        if stats is None:
+            return {}
+        out: Dict[str, float] = {
+            "accesses": stats.get("accesses", 0),
+            "slow_fraction": stats.get("slow_fraction", 0.0),
+        }
+        for group in ("fast", "slow", "aux"):
+            for key, value in stats.get(group, {}).items():
+                out[f"{group}.{key}"] = value
+        return out
 
     def fault_summary(self) -> Optional[Dict[str, object]]:
         """Injected-fault report for this run (None without injection)."""

@@ -1,7 +1,11 @@
 """End-to-end trace ingestion: external file -> first-class ``Trace``.
 
-Two bounded streaming passes over the input (re-opened between passes,
-so gzip inputs are decompressed twice rather than buffered):
+Two bounded streaming passes over the input. Plain files are simply
+re-opened between passes; gzip inputs are decompressed *once* into a
+temporary spill file that both passes then read, so the (expensive)
+decompression is never repeated (``IngestOptions.spill`` disables the
+spill and falls back to re-streaming the ``.gz`` per pass when temp
+disk space is tighter than CPU):
 
 1. **Infer** — :mod:`repro.ingest.infer` scans the stream and produces
    the annotated :class:`~repro.trace.region.RegionMap`. Memory here is
@@ -27,7 +31,11 @@ experiment the harness has.
 
 from __future__ import annotations
 
+import contextlib
+import gzip
 import os
+import shutil
+import tempfile
 from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
@@ -99,6 +107,10 @@ class IngestOptions:
         cores: stripe single-threaded formats round-robin across this
             many cores (1 keeps the stream on core 0).
         name: trace name (defaults to the file's stem).
+        spill: decompress ``.gz`` inputs once into a temporary spill
+            file shared by both passes (the default); ``False``
+            re-streams the compressed input per pass, trading 2x
+            decompression CPU for zero temp disk.
     """
 
     format: Optional[str] = None
@@ -112,6 +124,7 @@ class IngestOptions:
     seed: int = 7
     cores: int = 1
     name: Optional[str] = None
+    spill: bool = True
 
     def __post_init__(self):
         if self.chunk_size < 1:
@@ -139,6 +152,40 @@ class IngestOptions:
                 f"approx_min_blocks must be >= 1, got {self.approx_min_blocks}",
                 field="approx_min_blocks",
             )
+
+
+@contextlib.contextmanager
+def _spilled(path: str, spill: bool = True):
+    """Yield a readable path for ``path``, spilling ``.gz`` to disk.
+
+    Gzip inputs are decompressed exactly once into a temporary spill
+    file; both ingestion passes then stream the plain spill instead of
+    paying for decompression twice. Plain inputs — or ``spill=False`` —
+    pass straight through. The spill file is always deleted on exit.
+
+    Raises:
+        TraceFormatError: the input is missing or is not valid gzip.
+    """
+    if not (spill and path.endswith(".gz")):
+        yield path
+        return
+    if not os.path.exists(path):
+        raise TraceFormatError("no such trace file", path=path)
+    fd, tmp = tempfile.mkstemp(
+        prefix="repro-spill-", suffix="-" + os.path.basename(path[:-3])
+    )
+    try:
+        try:
+            with gzip.open(path, "rb") as src, os.fdopen(fd, "wb") as dst:
+                shutil.copyfileobj(src, dst, 1 << 20)
+        except (OSError, EOFError) as exc:
+            raise TraceFormatError(
+                f"cannot decompress trace file ({exc})", path=path
+            ) from exc
+        yield tmp
+    finally:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
 
 
 def _materialize_values(builder: TraceBuilder, regions, scan, options) -> None:
@@ -190,56 +237,73 @@ def ingest_trace(path: str, options: Optional[IngestOptions] = None, **overrides
     format_name = options.format or detect_format(path)
     adapter = get_adapter(format_name)
 
-    # Pass 1: bounded scan -> annotated regions.
-    regions, scan = infer_regions(
-        adapter.iter_batches(path, options.chunk_size),
-        block_size=options.block_size,
-        gap_blocks=options.gap_blocks,
-        dtype=options.dtype,
-        approx=options.approx,
-        approx_min_blocks=options.approx_min_blocks,
-    )
-    if scan.records == 0:
-        raise TraceFormatError(
-            "trace contains no memory accesses", path=path
-        )
-
-    name = options.name or os.path.basename(
-        path[:-3] if path.endswith(".gz") else path
-    ).rsplit(".", 1)[0]
-    builder = TraceBuilder(name, regions=regions, block_size=options.block_size)
-    _materialize_values(builder, regions, scan, options)
-
-    bases = np.array([r.base for r in regions], dtype=np.int64)
-    approx_flags = np.array([r.approx for r in regions], dtype=bool)
-    block_mask = np.int64(~(options.block_size - 1))
-
-    # Pass 2: re-stream, assign regions vectorized, append batch-wise.
-    batches = 0
-    max_batch = 0
-    emitted = 0
-    for batch in adapter.iter_batches(path, options.chunk_size):
-        n = len(batch)
-        baddrs = batch.addrs & block_mask
-        rids = np.searchsorted(bases, baddrs, side="right").astype(np.int32) - 1
-        cores = batch.cores
-        if options.cores > 1:
-            cores = (
-                (np.arange(emitted, emitted + n, dtype=np.int64) % options.cores)
-                .astype(np.int8)
+    spilled = False
+    with _spilled(path, spill=options.spill) as stream_path:
+        spilled = stream_path != path
+        try:
+            # Pass 1: bounded scan -> annotated regions.
+            regions, scan = infer_regions(
+                adapter.iter_batches(stream_path, options.chunk_size),
+                block_size=options.block_size,
+                gap_blocks=options.gap_blocks,
+                dtype=options.dtype,
+                approx=options.approx,
+                approx_min_blocks=options.approx_min_blocks,
             )
-        builder.append_batch(
-            cores,
-            baddrs,
-            batch.is_write,
-            approx_flags[rids],
-            rids,
-            np.full(n, -1, dtype=np.int64),
-            batch.gaps,
-        )
-        batches += 1
-        max_batch = max(max_batch, n)
-        emitted += n
+            if scan.records == 0:
+                raise TraceFormatError(
+                    "trace contains no memory accesses", path=path
+                )
+
+            name = options.name or os.path.basename(
+                path[:-3] if path.endswith(".gz") else path
+            ).rsplit(".", 1)[0]
+            builder = TraceBuilder(
+                name, regions=regions, block_size=options.block_size
+            )
+            _materialize_values(builder, regions, scan, options)
+
+            bases = np.array([r.base for r in regions], dtype=np.int64)
+            approx_flags = np.array([r.approx for r in regions], dtype=bool)
+            block_mask = np.int64(~(options.block_size - 1))
+
+            # Pass 2: re-stream, assign regions vectorized, append
+            # batch-wise.
+            batches = 0
+            max_batch = 0
+            emitted = 0
+            for batch in adapter.iter_batches(stream_path, options.chunk_size):
+                n = len(batch)
+                baddrs = batch.addrs & block_mask
+                rids = (
+                    np.searchsorted(bases, baddrs, side="right").astype(np.int32)
+                    - 1
+                )
+                cores = batch.cores
+                if options.cores > 1:
+                    cores = (
+                        (np.arange(emitted, emitted + n, dtype=np.int64)
+                         % options.cores)
+                        .astype(np.int8)
+                    )
+                builder.append_batch(
+                    cores,
+                    baddrs,
+                    batch.is_write,
+                    approx_flags[rids],
+                    rids,
+                    np.full(n, -1, dtype=np.int64),
+                    batch.gaps,
+                )
+                batches += 1
+                max_batch = max(max_batch, n)
+                emitted += n
+        except TraceFormatError as exc:
+            # Parse errors carry the spill path; re-point the context at
+            # the file the user actually named.
+            if spilled and exc.path == stream_path:
+                exc.path = path
+            raise
 
     trace = builder.build()
     trace.ingest_stats = {
@@ -255,5 +319,6 @@ def ingest_trace(path: str, options: Optional[IngestOptions] = None, **overrides
         "footprint_bytes": regions.total_bytes(),
         "embedded_values": scan.has_values,
         "value_model": None if scan.has_values else options.value_model,
+        "spilled": spilled,
     }
     return trace

@@ -60,7 +60,7 @@ class TestSimulate:
         d = rec.to_dict()
         assert set(d) == {
             "config", "system", "energy", "sim_wall_s", "accesses",
-            "accesses_per_sec",
+            "accesses_per_sec", "engine_stats",
         }
         assert d["config"]["label"] == "baseline-2MB"
         assert d["system"]["cycles"] == rec.system.cycles

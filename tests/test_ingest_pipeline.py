@@ -95,6 +95,46 @@ class TestPipeline:
             ingest_trace(str(p))
         assert "no memory accesses" in str(excinfo.value)
 
+    def test_gzip_spills_once_and_matches_restreaming(self):
+        spilled = ingest_trace(fixture("tiny.lackey.gz"))
+        streamed = ingest_trace(fixture("tiny.lackey.gz"), spill=False)
+        assert spilled.ingest_stats["spilled"] is True
+        assert streamed.ingest_stats["spilled"] is False
+        np.testing.assert_array_equal(spilled.addrs, streamed.addrs)
+        np.testing.assert_array_equal(spilled.region_ids, streamed.region_ids)
+        assert spilled.initial_image == streamed.initial_image
+
+    def test_plain_input_never_spills(self):
+        assert ingest_trace(fixture("tiny.lackey")).ingest_stats["spilled"] is False
+
+    def test_spill_file_is_cleaned_up(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("tempfile.tempdir", str(tmp_path))
+        ingest_trace(fixture("tiny.lackey.gz"))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_spill_error_context_names_the_input(self, tmp_path):
+        import gzip
+
+        bad = tmp_path / "bad.lackey.gz"
+        with open(fixture("bad.lackey"), "rb") as src:
+            bad.write_bytes(gzip.compress(src.read()))
+        with pytest.raises(TraceFormatError) as excinfo:
+            ingest_trace(str(bad))
+        assert excinfo.value.path == str(bad)
+        assert excinfo.value.line is not None
+
+    def test_not_actually_gzip_is_a_trace_error(self, tmp_path):
+        fake = tmp_path / "fake.lackey.gz"
+        fake.write_text("L 1000,8\n")
+        with pytest.raises(TraceFormatError) as excinfo:
+            ingest_trace(str(fake))
+        assert "decompress" in str(excinfo.value)
+
+    def test_missing_gzip_input(self, tmp_path):
+        with pytest.raises(TraceFormatError) as excinfo:
+            ingest_trace(str(tmp_path / "nope.lackey.gz"))
+        assert "no such trace file" in str(excinfo.value)
+
     @pytest.mark.parametrize(
         "kwargs,field",
         [

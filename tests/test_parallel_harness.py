@@ -7,7 +7,7 @@ so every downstream table is identical.
 
 import pytest
 
-from repro.harness.parallel import plan_specs, prefetch_runs
+from repro.harness.parallel import _split_fan, plan_specs, prefetch_runs
 from repro.harness.runner import (
     ExperimentContext,
     baseline_spec,
@@ -103,3 +103,83 @@ class TestPrefetchRuns:
         fetched = prefetch_runs(ctx, ["headline"], jobs=2)
         assert fetched == 2
         assert ("swaptions", dopp_spec(14, 0.25)) in ctx._runs
+
+
+class TestSplitFan:
+    def _task(self, run_specs, error_specs=()):
+        return {
+            "workload": "swaptions", "seed": SEED, "scale": SCALE,
+            "engine": None, "run_specs": list(run_specs),
+            "error_specs": list(error_specs),
+        }
+
+    def test_round_robin_partition_covers_every_spec(self):
+        specs = [baseline_spec()] + [dopp_spec(b, 0.25) for b in (10, 12, 14)]
+        units = _split_fan(self._task(specs), 3)
+        assert len(units) == 3
+        dealt = [s for u in units for s in u["run_specs"]]
+        assert sorted(dealt, key=lambda s: s.label()) == sorted(
+            specs, key=lambda s: s.label()
+        )
+
+    def test_never_more_chunks_than_specs(self):
+        units = _split_fan(self._task([baseline_spec()]), 8)
+        assert len(units) == 1
+        assert units[0]["run_specs"] == [baseline_spec()]
+
+    def test_error_specs_split_alongside(self):
+        runs = [dopp_spec(b, 0.25) for b in (10, 12, 14, 15)]
+        units = _split_fan(self._task(runs, runs), 2)
+        assert [len(u["error_specs"]) for u in units] == [2, 2]
+
+
+class TestConfigFanSplitting:
+    """`--jobs N` on one workload with a config fan: split across
+    workers, merged results identical to a sequential sweep."""
+
+    @pytest.fixture(scope="class")
+    def contexts(self):
+        fan = [baseline_spec(), dopp_spec(14, 0.25), dopp_spec(12, 0.25),
+               uni_spec(14, 0.5)]
+        seq = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+        for spec in fan:
+            seq.run("swaptions", spec)
+        par = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+        fetched = prefetch_runs(
+            par, [], jobs=4, run_specs=fan, error_specs=[],
+        )
+        assert fetched == len(fan)
+        return seq, par
+
+    def test_same_pairs(self, contexts):
+        seq, par = contexts
+        assert set(seq._runs) == set(par._runs)
+
+    def test_bit_identical_results(self, contexts):
+        seq, par = contexts
+        for key, rec in seq._runs.items():
+            other = par._runs[key]
+            assert other.system == rec.system
+            assert other.energy == rec.energy
+            assert other.engine_stats == rec.engine_stats
+
+    def test_summaries_identical_modulo_wall_time(self, contexts):
+        seq, par = contexts
+
+        def strip(rows):
+            return [
+                {k: v for k, v in r.items()
+                 if k not in ("sim_wall_s", "accesses_per_sec")}
+                for r in rows
+            ]
+
+        assert strip(seq.run_summaries()) == strip(par.run_summaries())
+
+    def test_split_disabled_keeps_one_task_per_workload(self):
+        fan = [baseline_spec(), dopp_spec(14, 0.25)]
+        ctx = ExperimentContext(seed=SEED, scale=SCALE, workloads=["swaptions"])
+        fetched = prefetch_runs(
+            ctx, [], jobs=4, run_specs=fan, error_specs=[],
+            split_fans=False,
+        )
+        assert fetched == len(fan)

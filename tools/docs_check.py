@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Documentation checks, run by the ``docs-check`` CI job.
+
+Two passes over the repo's markdown:
+
+1. **Link check** — every intra-repo markdown link (``[text](path)``
+   with a relative target) must resolve to an existing file or
+   directory. External (``http``/``https``/``mailto``) and pure
+   fragment (``#...``) links are skipped; a ``path#fragment`` target
+   is checked for the file only.
+2. **Example check** — fenced ```` ```pycon ```` blocks are extracted
+   per file, concatenated (so later fences can reuse earlier names),
+   and executed with :mod:`doctest` (``ELLIPSIS`` +
+   ``NORMALIZE_WHITESPACE``). Run with ``PYTHONPATH=src`` so the
+   examples can ``import repro``.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+from typing import Iterator, List
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: [text](target) — target up to the first ')' or whitespace.
+LINK_RE = re.compile(r"\[[^\]^\[]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```pycon[ \t]*\n(.*?)^```[ \t]*$", re.M | re.S)
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> Iterator[str]:
+    """Every tracked-looking ``.md`` file under the repo root."""
+    for dirpath, dirnames, filenames in os.walk(REPO):
+        dirnames[:] = sorted(
+            d for d in dirnames if d not in SKIP_DIRS and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_links(path: str) -> List[str]:
+    """Broken intra-repo links in one markdown file, as messages."""
+    problems = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), target.split("#", 1)[0])
+                )
+                if not os.path.exists(resolved):
+                    rel = os.path.relpath(path, REPO)
+                    problems.append(
+                        f"{rel}:{lineno}: broken link -> {target}"
+                    )
+    return problems
+
+
+def check_examples(path: str) -> List[str]:
+    """Run a file's ```pycon fences as one doctest; failures as messages."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    fences = FENCE_RE.findall(text)
+    if not fences:
+        return []
+    rel = os.path.relpath(path, REPO)
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        "\n".join(fences), {"__name__": "__docs__"}, rel, rel, 0
+    )
+    out: List[str] = []
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    )
+    runner.run(test, out=out.append)
+    results = runner.summarize(verbose=False)
+    if results.failed:
+        return ["".join(out).rstrip() or f"{rel}: doctest failure"]
+    print(f"{rel}: {results.attempted} example(s) OK")
+    return []
+
+
+def main() -> int:
+    """Run both checks over every markdown file; 0 iff all clean."""
+    problems: List[str] = []
+    for path in markdown_files():
+        problems.extend(check_links(path))
+    for path in markdown_files():
+        problems.extend(check_examples(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
