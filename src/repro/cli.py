@@ -26,6 +26,17 @@ Observability (see ``docs/observability.md``)::
     python -m repro.cli report
     python -m repro.cli compare old/BENCH_obs.json new/BENCH_obs.json
 
+Run history (every invocation lands in a sqlite store unless
+``--no-store``; path from ``--store``, ``REPRO_STORE`` or
+``<--json-out>/history.db``)::
+
+    python -m repro.cli history list
+    python -m repro.cli history top --metric accesses_per_sec
+    python -m repro.cli history query 'SELECT workload, MAX(error) \
+        FROM results GROUP BY workload'
+    python -m repro.cli compare store:last-1 store:last
+    python -m repro.cli experiments fig10 --jobs 4 --progress
+
 Resilience (see ``docs/robustness.md``)::
 
     python -m repro.cli headline --fault-rate 1e-3 --fault-seed 3
@@ -133,15 +144,27 @@ def run_experiment(
 
 
 def _main_compare(argv) -> int:
-    """The ``compare`` subcommand: diff two BENCH_obs.json files."""
+    """The ``compare`` subcommand: diff two summaries or store runs.
+
+    Either positional may be a ``BENCH_obs.json`` path or a ``store:``
+    reference (``store:last``, ``store:last-1``, ``store:<id>``) into
+    the run-history store — so the CI perf gate can diff against
+    recorded history instead of a cached file.
+    """
     from repro.obs.compare import compare_bench
+    from repro.obs.store import default_store_path
 
     parser = argparse.ArgumentParser(
         prog="repro compare",
-        description="Diff two BENCH_obs.json summaries; exit 1 on regression.",
+        description="Diff two BENCH_obs.json summaries (or store: run "
+        "refs); exit 1 on regression.",
     )
-    parser.add_argument("old", help="baseline BENCH_obs.json")
-    parser.add_argument("new", help="candidate BENCH_obs.json")
+    parser.add_argument(
+        "old", help="baseline BENCH_obs.json path or store: ref"
+    )
+    parser.add_argument(
+        "new", help="candidate BENCH_obs.json path or store: ref"
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -156,10 +179,17 @@ def _main_compare(argv) -> int:
         help="separate (relative) tolerance for the noisy wall-time "
         "metrics; defaults to --threshold",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="history database for store: refs (default: REPRO_STORE "
+        "or results/json/history.db)",
+    )
     args = parser.parse_args(argv)
     comparison = compare_bench(
         args.old, args.new,
         threshold=args.threshold, wall_threshold=args.wall_threshold,
+        store_path=args.store or default_store_path(),
     )
     print(comparison.render())
     return 1 if comparison.regressions else 0
@@ -534,6 +564,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a metrics JSON snapshot to this path (implies metrics)",
     )
+    history = parser.add_argument_group(
+        "run history", "sqlite run-history store (docs/observability.md)"
+    )
+    history.add_argument(
+        "--store",
+        default=None,
+        help="record this invocation into this history database "
+        "(default: REPRO_STORE or <--json-out>/history.db)",
+    )
+    history.add_argument(
+        "--no-store",
+        action="store_true",
+        help="skip recording this invocation in the history store",
+    )
+    history.add_argument(
+        "--progress",
+        action="store_true",
+        help="with --jobs > 1: stream live worker heartbeats to an "
+        "in-place terminal status line (and into the history store)",
+    )
     return parser
 
 
@@ -558,6 +608,83 @@ def _fault_config(args):
         stuck_bits=args.fault_stuck_bits,
         targets=tuple(args.fault_targets),
     )
+
+
+def _cpu_seconds(start) -> float:
+    """CPU seconds (self + children) since an ``os.times()`` snapshot."""
+    end = os.times()
+    return sum(end[:4]) - sum(start[:4])
+
+
+def _start_store_run(args, argv, names, faults):
+    """Open the history store and insert this invocation's run row.
+
+    Returns ``(store, run_id)``, or ``(None, None)`` when the store
+    cannot be opened — the harness never fails because telemetry did,
+    but the warning names the path so a deliberate ``--store`` points
+    somewhere debuggable.
+    """
+    from repro.obs.store import (
+        RunStore,
+        config_digest,
+        default_store_path,
+        git_sha,
+    )
+
+    path = args.store or default_store_path(args.json_out)
+    try:
+        store = RunStore(path)
+        run_id = store.start_run(
+            experiments=names,
+            workloads=args.workloads,
+            engine=args.engine or "batched",
+            seed=args.seed,
+            scale=args.scale,
+            jobs=args.jobs,
+            argv=list(argv),
+            sha=git_sha(),
+            config_hash=config_digest(
+                {
+                    "experiments": list(names),
+                    "seed": args.seed,
+                    "scale": args.scale,
+                    "workloads": args.workloads,
+                    "engine": args.engine,
+                    "faults": faults.to_dict() if faults is not None else None,
+                }
+            ),
+        )
+    except Exception as exc:
+        print(f"[history store {path} unavailable: {exc}]", file=sys.stderr)
+        return None, None
+    return store, run_id
+
+
+def _record_store_run(
+    store, run_id, ctx, progress, *, wall_s, cpu_s, experiments
+):
+    """Land results, heartbeats and final timings in the history store."""
+    try:
+        if ctx is not None:
+            records = ctx.run_records()
+            for row in ctx.run_summaries():
+                store.add_result(
+                    run_id,
+                    row,
+                    records.get((row["workload"], row["config"])),
+                )
+        if progress is not None:
+            store.add_events(run_id, progress.events_for_store())
+        store.finish_run(
+            run_id,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            experiments=experiments,
+            context=ctx.context_summary() if ctx is not None else None,
+        )
+        print(f"[run {run_id} recorded in {store.path}]")
+    finally:
+        store.close()
 
 
 def main(argv=None) -> int:
@@ -588,6 +715,10 @@ def _dispatch(argv) -> int:
         return _main_replay(argv[1:])
     if argv and argv[0] == "ingest":
         return _main_ingest(argv[1:])
+    if argv and argv[0] == "history":
+        from repro.obs.history import main_history
+
+        return main_history(argv[1:])
 
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -646,6 +777,15 @@ def _dispatch(argv) -> int:
             )
     faults = _fault_config(args)
 
+    start_ns = perf_counter_ns()
+    cpu_start = os.times()
+    store = run_id = None
+    if not args.no_store:
+        store, run_id = _start_store_run(args, argv, names, faults)
+    progress = None
+    if args.progress and args.jobs == 1:
+        print("[--progress streams worker heartbeats; needs --jobs > 1]")
+
     enabled = args.profile or bool(args.trace_out) or bool(args.metrics_out)
     trace_path = args.trace_out
     if args.profile and trace_path is None:
@@ -690,15 +830,29 @@ def _dispatch(argv) -> int:
                     "[note: --jobs simulates in worker processes; per-access "
                     "traces/metrics are not captured for prefetched runs]"
                 )
+            if args.progress:
+                from repro.obs.livestream import LiveProgressSink
+
+                progress = LiveProgressSink(stream=sys.stderr)
             fetched = prefetch_runs(
                 ctx, names, args.jobs,
                 timeout=args.timeout, retries=args.retries, journal=journal,
-                split_fans=not args.no_split_fans,
+                split_fans=not args.no_split_fans, progress=progress,
             )
+            if progress is not None:
+                beat = progress.summary()
+                print(
+                    f"[progress: {beat['heartbeats']} heartbeats from "
+                    f"{beat['units']} work units]"
+                )
             if fetched:
                 print(f"[prefetched {fetched} runs across {args.jobs} jobs]")
+    experiment_walls: Dict[str, dict] = {}
     for name in names:
-        _run_experiment(name, ctx, args.out, json_dir=args.json_out, obs=obs)
+        wall_s = _run_experiment(
+            name, ctx, args.out, json_dir=args.json_out, obs=obs
+        )
+        experiment_walls[name] = {"wall_s": wall_s}
 
     if enabled:
         if metrics_path:
@@ -722,6 +876,13 @@ def _dispatch(argv) -> int:
             args.json_out,
             runs=ctx.run_summaries(),
             context=ctx.context_summary(),
+        )
+    if store is not None:
+        _record_store_run(
+            store, run_id, ctx, progress,
+            wall_s=(perf_counter_ns() - start_ns) / 1e9,
+            cpu_s=_cpu_seconds(cpu_start),
+            experiments=experiment_walls,
         )
     return 0
 

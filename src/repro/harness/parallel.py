@@ -107,7 +107,16 @@ def _run_task(task: dict):
     and returns picklable records only. Specs arrive with their fault
     configs already resolved by the parent, so a worker's memo keys
     match the parent's exactly.
+
+    When the parent attached a progress channel (``--progress``), the
+    worker emits one heartbeat at task start, one after the trace is
+    generated, and one per completed (workload, config) simulation /
+    error evaluation — accesses/sec, slow-path fraction and RSS ride
+    along so a thrashing worker is visible mid-run (see
+    :mod:`repro.obs.livestream`).
     """
+    from repro.obs.livestream import WorkerProgress
+
     ctx = ExperimentContext(
         seed=task["seed"],
         scale=task["scale"],
@@ -115,8 +124,37 @@ def _run_task(task: dict):
         engine=task["engine"],
     )
     name = task["workload"]
-    runs = [(spec, ctx.run(name, spec)) for spec in task["run_specs"]]
-    errors = {spec: ctx.error(name, spec) for spec in task["error_specs"]}
+    run_specs = task["run_specs"]
+    error_specs = task["error_specs"]
+    progress = WorkerProgress(
+        task.get("progress"), task.get("unit") or name
+    )
+    total = len(run_specs) + len(error_specs)
+    done = 0
+    progress.emit("start", workload=name, total=total)
+    if run_specs or error_specs:
+        ctx.trace(name)
+        progress.emit("trace", workload=name, total=total)
+    runs = []
+    for spec in run_specs:
+        record = ctx.run(name, spec)
+        runs.append((spec, record))
+        done += 1
+        stats = record.engine_stats or {}
+        progress.emit(
+            "run", workload=name, config=spec.label(), done=done, total=total,
+            accesses=record.accesses,
+            accesses_per_sec=record.accesses_per_sec,
+            slow_path_fraction=stats.get("slow_fraction"),
+        )
+    errors = {}
+    for spec in error_specs:
+        errors[spec] = ctx.error(name, spec)
+        done += 1
+        progress.emit(
+            "error", workload=name, config=spec.label(), done=done, total=total
+        )
+    progress.emit("done", workload=name, done=done, total=total)
     return name, runs, errors
 
 
@@ -222,6 +260,7 @@ def prefetch_runs(
     backoff: float = 1.0,
     journal=None,
     split_fans: bool = True,
+    progress=None,
 ) -> int:
     """Simulate everything ``experiment_names`` will need, in parallel.
 
@@ -249,6 +288,11 @@ def prefetch_runs(
             :class:`~repro.resilience.checkpoint.SweepJournal`; every
             merged record is journaled as it lands, so a killed sweep
             resumes from its last completed (workload, config).
+        progress: optional
+            :class:`~repro.obs.livestream.LiveProgressSink`; workers
+            then emit heartbeats (unit, accesses/sec, slow-path
+            fraction, RSS) over a manager queue that the sink drains
+            live, so a stuck worker is visible mid-run.
 
     Raises:
         SimulationFault: tasks still failing after every retry; the
@@ -295,11 +339,58 @@ def prefetch_runs(
                 len(tasks), len(units), int(jobs),
             )
         tasks = units
+    # Unit names for progress display/storage: the workload, suffixed
+    # with #k when its config fan was split across several chunk units.
+    per_workload: Dict[str, int] = {}
+    for task in tasks:
+        per_workload[task["workload"]] = per_workload.get(task["workload"], 0) + 1
+    seen: Dict[str, int] = {}
+    for task in tasks:
+        name = task["workload"]
+        if per_workload[name] > 1:
+            task["unit"] = f"{name}#{seen.get(name, 0)}"
+            seen[name] = seen.get(name, 0) + 1
+        else:
+            task["unit"] = name
+    manager = None
+    if progress is not None:
+        import multiprocessing
+
+        # A manager queue proxy is picklable under every start method,
+        # unlike a raw mp.Queue, so it can ride inside the task dicts.
+        manager = multiprocessing.Manager()
+        channel = manager.Queue()
+        for task in tasks:
+            task["progress"] = channel
+        progress.start(channel)
     fetched = 0
     workers = max(1, min(int(jobs), len(tasks)))
     log.info(
         "prefetching %d workload tasks across %d workers", len(tasks), workers
     )
+    try:
+        fetched = _prefetch_rounds(
+            ctx, tasks, workers, timeout, retries, backoff, journal
+        )
+    finally:
+        if progress is not None:
+            progress.stop()
+        if manager is not None:
+            manager.shutdown()
+    return fetched
+
+
+def _prefetch_rounds(
+    ctx: ExperimentContext,
+    tasks: List[dict],
+    workers: int,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    journal,
+) -> int:
+    """Run the retry loop of :func:`prefetch_runs`; returns runs fetched."""
+    fetched = 0
     with ctx.obs.profiler.phase(f"parallel/jobs{workers}"):
         pending = tasks
         attempt = 0

@@ -238,6 +238,44 @@ class RunRecord:
             out["engine_stats"] = engine_stats
         return out
 
+    def summary_row(self, workload: str, error: Optional[float] = None) -> dict:
+        """Flat BENCH run row for this record (one dict per run).
+
+        The single serialization the ``BENCH_obs.json`` summary, the
+        ``compare`` gate and the run-history store
+        (:mod:`repro.obs.store`) all consume, so a row diffed from a
+        file and one exported from the store are field-identical.
+        """
+        sysres = self.system
+        row = {
+            "workload": workload,
+            "config": self.spec.label(),
+            "sim_wall_s": self.wall_ns / 1e9,
+            "accesses": self.accesses,
+            "accesses_per_sec": self.accesses_per_sec,
+            "cycles": sysres.cycles,
+            "instructions": sysres.instructions,
+            "llc_miss_rate": sysres.llc_miss_rate,
+            "l1_hit_rate": sysres.l1_stats.hit_rate,
+            "l2_hit_rate": sysres.l2_stats.hit_rate,
+            "back_invalidations": sysres.back_invalidations,
+            "coherence_invalidations": sysres.coherence_invalidations,
+            "wb_stall_cycles": sysres.wb_stall_cycles,
+            "traffic_bytes": sysres.traffic_bytes,
+            "error": error,
+        }
+        if self.faults is not None:
+            row["faults"] = self.faults
+        if self.engine_used is not None:
+            row["engine_used"] = self.engine_used
+        # getattr: records resumed from pre-engine_stats checkpoint
+        # journals lack the attribute entirely.
+        engine_stats = getattr(self, "engine_stats", None)
+        if engine_stats is not None:
+            row["slow_path_fraction"] = engine_stats.get("slow_fraction")
+            row["engine_stats"] = engine_stats
+        return row
+
 
 def run_trace(
     trace,
@@ -545,41 +583,25 @@ class ExperimentContext:
         so a parallel ``--jobs`` prefetch and a sequential run emit
         byte-identical summaries.
         """
-        out = []
         items = sorted(
             self._runs.items(), key=lambda kv: (kv[0][0], kv[0][1].label())
         )
-        for (name, spec), rec in items:
-            sysres = rec.system
-            row = {
-                "workload": name,
-                "config": spec.label(),
-                "sim_wall_s": rec.wall_ns / 1e9,
-                "accesses": rec.accesses,
-                "accesses_per_sec": rec.accesses_per_sec,
-                "cycles": sysres.cycles,
-                "instructions": sysres.instructions,
-                "llc_miss_rate": sysres.llc_miss_rate,
-                "l1_hit_rate": sysres.l1_stats.hit_rate,
-                "l2_hit_rate": sysres.l2_stats.hit_rate,
-                "back_invalidations": sysres.back_invalidations,
-                "coherence_invalidations": sysres.coherence_invalidations,
-                "wb_stall_cycles": sysres.wb_stall_cycles,
-                "traffic_bytes": sysres.traffic_bytes,
-                "error": self._errors.get((name, spec)),
-            }
-            if rec.faults is not None:
-                row["faults"] = rec.faults
-            if rec.engine_used is not None:
-                row["engine_used"] = rec.engine_used
-            # getattr: records resumed from pre-engine_stats checkpoint
-            # journals lack the attribute entirely.
-            engine_stats = getattr(rec, "engine_stats", None)
-            if engine_stats is not None:
-                row["slow_path_fraction"] = engine_stats.get("slow_fraction")
-                row["engine_stats"] = engine_stats
-            out.append(row)
-        return out
+        return [
+            rec.summary_row(name, error=self._errors.get((name, spec)))
+            for (name, spec), rec in items
+        ]
+
+    def run_records(self) -> Dict[Tuple[str, str], dict]:
+        """Full nested ``RunRecord.to_dict()`` per (workload, config label).
+
+        The run-history store (:mod:`repro.obs.store`) persists these
+        alongside the flat summary rows so ``history export`` can
+        reconstruct everything a run knew, not just the BENCH columns.
+        """
+        return {
+            (name, spec.label()): rec.to_dict()
+            for (name, spec), rec in self._runs.items()
+        }
 
     def context_summary(self) -> dict:
         """The knobs that shaped this context (for the BENCH summary)."""

@@ -37,6 +37,28 @@ from repro.trace.trace import Trace
 KB = 1024
 
 
+def flatten_engine_stats(stats: Optional[Dict]) -> Dict[str, float]:
+    """Flatten an ``engine_stats`` dict into scalar (key, value) rows.
+
+    The engine's nested per-class tallies (``fast``/``slow``/``aux``
+    groups plus ``accesses`` and ``slow_fraction``; see
+    ``docs/engine.md``) become dotted keys — ``fast.read_hit`` — the
+    shape both the metrics registry and the run-history store's
+    ``engine_stats`` table consume. None or empty input flattens to an
+    empty dict.
+    """
+    if not stats:
+        return {}
+    out: Dict[str, float] = {
+        "accesses": stats.get("accesses", 0),
+        "slow_fraction": stats.get("slow_fraction", 0.0),
+    }
+    for group in ("fast", "slow", "aux"):
+        for key, value in stats.get(group, {}).items():
+            out[f"{group}.{key}"] = value
+    return out
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """System parameters (defaults reproduce Table 1)."""
@@ -379,17 +401,7 @@ class System:
         ``engine_stats`` to the system at the end of ``run()``
         (see ``docs/engine.md``).
         """
-        stats = getattr(self, "engine_stats", None)
-        if stats is None:
-            return {}
-        out: Dict[str, float] = {
-            "accesses": stats.get("accesses", 0),
-            "slow_fraction": stats.get("slow_fraction", 0.0),
-        }
-        for group in ("fast", "slow", "aux"):
-            for key, value in stats.get(group, {}).items():
-                out[f"{group}.{key}"] = value
-        return out
+        return flatten_engine_stats(getattr(self, "engine_stats", None))
 
     def fault_summary(self) -> Optional[Dict[str, object]]:
         """Injected-fault report for this run (None without injection)."""

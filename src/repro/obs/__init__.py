@@ -16,7 +16,11 @@ and the interesting protocol events behind them — visible:
 * :mod:`repro.obs.output` — machine-readable experiment output (JSON
   tables under ``results/json/`` and the ``BENCH_obs.json`` run
   summary);
-* :mod:`repro.obs.logs` — the ``repro`` logger hierarchy.
+* :mod:`repro.obs.logs` — the ``repro`` logger hierarchy;
+* :mod:`repro.obs.store` — the sqlite run-history store every harness
+  invocation appends to (``repro history``, ``store:`` compare refs);
+* :mod:`repro.obs.livestream` — live worker heartbeats for parallel
+  sweeps (``--progress``), retained into the store.
 
 :class:`Observability` bundles one registry + tracer + profiler and is
 what the harness passes around; ``Observability.disabled()`` (the
@@ -42,6 +46,7 @@ from repro.obs.events import (
     RingBufferSink,
     Tracer,
 )
+from repro.obs.livestream import LiveProgressSink, WorkerProgress
 from repro.obs.logs import configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -51,6 +56,12 @@ from repro.obs.metrics import (
     Timer,
 )
 from repro.obs.profiling import PhaseProfiler
+from repro.obs.store import (
+    RunStore,
+    default_store_path,
+    is_store_ref,
+    load_bench_source,
+)
 
 __all__ = [
     "Observability",
@@ -76,6 +87,12 @@ __all__ = [
     "Timer",
     "MetricsRegistry",
     "PhaseProfiler",
+    "RunStore",
+    "default_store_path",
+    "is_store_ref",
+    "load_bench_source",
+    "LiveProgressSink",
+    "WorkerProgress",
     "configure_logging",
     "get_logger",
 ]

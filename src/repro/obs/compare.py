@@ -10,6 +10,12 @@ slower, caches got worse, or output error grew::
     python -m repro.cli compare results/before/BENCH_obs.json \\
                                 results/after/BENCH_obs.json
 
+Either side may also be a ``store:`` reference into the run-history
+store (:mod:`repro.obs.store`), so the diff can run against recorded
+history instead of a cached file::
+
+    python -m repro.cli compare store:last-1 store:last
+
 Runs are joined on their (workload, config) pair; experiments on
 their name. Per metric, a *regression* is:
 
@@ -29,8 +35,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
-
-from repro.obs.output import load_json
 
 #: metric -> (kind, direction). ``relative`` compares (new-old)/old;
 #: ``absolute`` compares new-old. Direction +1 means "bigger is worse".
@@ -133,6 +137,7 @@ class BenchComparison:
 
 
 def _index_runs(summary: dict) -> Dict[Tuple[str, str], dict]:
+    """Index a summary's run rows by their (workload, config) pair."""
     return {
         (r.get("workload"), r.get("config")): r
         for r in summary.get("runs", [])
@@ -143,6 +148,7 @@ def _compare_metric(
     key: str, metric: str, kind: str, direction: int,
     old: Optional[float], new: Optional[float], threshold: float,
 ) -> Optional[MetricDelta]:
+    """Delta one metric of one joined row (None if either side is missing)."""
     if old is None or new is None:
         return None
     old = float(old)
@@ -160,22 +166,29 @@ def compare_bench(
     new_path: str,
     threshold: float = 0.05,
     wall_threshold: Optional[float] = None,
+    store_path: Optional[str] = None,
 ) -> BenchComparison:
     """Compare two BENCH summaries; see the module docstring for rules.
 
     Args:
-        old_path: baseline ``BENCH_obs.json``.
-        new_path: candidate ``BENCH_obs.json``.
+        old_path: baseline ``BENCH_obs.json`` path — or a ``store:``
+            run reference (``store:last-1``) resolved against the
+            run-history store (see :mod:`repro.obs.store`).
+        new_path: candidate ``BENCH_obs.json`` path or ``store:`` ref.
         threshold: tolerance — relative for wall times, absolute for
             hit/miss rates and error.
         wall_threshold: separate tolerance for the (noisy) wall-time
             metrics; defaults to ``threshold``. CI smoke jobs use a
             loose wall threshold with a tight functional one.
+        store_path: history database for ``store:`` refs (default:
+            ``REPRO_STORE`` or ``results/json/history.db``).
     """
+    from repro.obs.store import load_bench_source
+
     if wall_threshold is None:
         wall_threshold = threshold
-    old_summary = load_json(old_path)
-    new_summary = load_json(new_path)
+    old_summary = load_bench_source(old_path, store_path)
+    new_summary = load_bench_source(new_path, store_path)
     result = BenchComparison(threshold=threshold)
 
     old_runs = _index_runs(old_summary)

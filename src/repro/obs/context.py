@@ -38,6 +38,7 @@ class Observability:
         ring_capacity: int = 0,
         trace_sample: int = 1,
     ):
+        """Build the bundle (see class docstring for the arguments)."""
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer = Tracer(sample=trace_sample)

@@ -88,23 +88,41 @@ class EventSink:
     """Sink interface; subclasses override :meth:`emit`."""
 
     def emit(self, event: Event) -> None:
+        """Consume one event (abstract)."""
         raise NotImplementedError
 
     def close(self) -> None:
         """Flush and release resources (idempotent)."""
 
+    def summary(self) -> dict:
+        """Sink health for :meth:`Tracer.summary`; subclasses extend."""
+        return {"sink": type(self).__name__}
+
 
 class RingBufferSink(EventSink):
-    """Keeps the last ``capacity`` events in memory."""
+    """Keeps the last ``capacity`` events in memory.
+
+    When the ring wraps, the overwritten events are counted in
+    ``dropped_events`` — ``total_emitted == len(events) +
+    dropped_events`` always holds (until :meth:`clear`), so a
+    truncated trace is detectable instead of silently looking
+    complete.
+    """
 
     def __init__(self, capacity: int = 4096):
+        """Allocate a ring holding the last ``capacity`` events."""
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._buf: Deque[Event] = deque(maxlen=capacity)
         self.total_emitted = 0
+        #: Events overwritten by ring wrap-around (lost to readers).
+        self.dropped_events = 0
 
     def emit(self, event: Event) -> None:
+        """Append one event, counting a drop when the ring is full."""
+        if len(self._buf) == self.capacity:
+            self.dropped_events += 1
         self._buf.append(event)
         self.total_emitted += 1
 
@@ -121,8 +139,22 @@ class RingBufferSink(EventSink):
         return counts
 
     def clear(self) -> None:
-        """Drop buffered events (``total_emitted`` keeps counting)."""
+        """Drop buffered events (``total_emitted`` keeps counting).
+
+        A deliberate clear is not data loss: ``dropped_events`` keeps
+        counting wrap-around only.
+        """
         self._buf.clear()
+
+    def summary(self) -> dict:
+        """Capacity, fill level and drop accounting for this ring."""
+        return {
+            "sink": type(self).__name__,
+            "capacity": self.capacity,
+            "buffered": len(self._buf),
+            "total_emitted": self.total_emitted,
+            "dropped_events": self.dropped_events,
+        }
 
 
 class JsonlFileSink(EventSink):
@@ -133,11 +165,13 @@ class JsonlFileSink(EventSink):
     """
 
     def __init__(self, path: str):
+        """Bind the sink to ``path`` without opening it yet."""
         self.path = path
         self._fh = None
         self.written = 0
 
     def emit(self, event: Event) -> None:
+        """Append one JSON line, opening the file on first use."""
         if self._fh is None:
             directory = os.path.dirname(self.path)
             if directory:
@@ -148,9 +182,18 @@ class JsonlFileSink(EventSink):
         self.written += 1
 
     def close(self) -> None:
+        """Close the file handle if it was opened."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def summary(self) -> dict:
+        """Path and line count for this file sink."""
+        return {
+            "sink": type(self).__name__,
+            "path": self.path,
+            "written": self.written,
+        }
 
 
 def read_jsonl(path: str) -> List[dict]:
@@ -179,12 +222,14 @@ class Tracer:
     """
 
     def __init__(self, sinks: Optional[List[EventSink]] = None, sample: int = 1):
+        """Create a tracer over ``sinks`` with 1-in-``sample`` emission."""
         if sample < 1:
             raise ValueError(f"sample must be >= 1, got {sample}")
         self._sinks: List[EventSink] = list(sinks) if sinks else []
         self.enabled = bool(self._sinks)
         self.sample = int(sample)
         self._seq = 0
+        self._forwarded = 0
         self._t0 = perf_counter_ns()
 
     def add_sink(self, sink: EventSink) -> EventSink:
@@ -195,6 +240,7 @@ class Tracer:
 
     @property
     def sinks(self) -> List[EventSink]:
+        """The attached sinks (a copy)."""
         return list(self._sinks)
 
     def emit(self, kind: str, **fields) -> None:
@@ -210,8 +256,29 @@ class Tracer:
         if (self._seq - 1) % self.sample:
             return
         event = Event(self._seq, perf_counter_ns() - self._t0, kind, fields)
+        self._forwarded += 1
         for sink in self._sinks:
             sink.emit(event)
+
+    def summary(self) -> dict:
+        """Emission accounting across the tracer and its sinks.
+
+        ``emitted`` counts every :meth:`emit` call, ``forwarded`` the
+        events that survived sampling, and ``dropped_events`` sums the
+        sinks' wrap-around losses (ring buffers) — nonzero means the
+        buffered trace is truncated and conclusions drawn from it
+        should say so.
+        """
+        sinks = [sink.summary() for sink in self._sinks]
+        return {
+            "emitted": self._seq,
+            "forwarded": self._forwarded,
+            "sample": self.sample,
+            "dropped_events": sum(
+                s.get("dropped_events", 0) for s in sinks
+            ),
+            "sinks": sinks,
+        }
 
     def close(self) -> None:
         """Close every sink."""

@@ -1,0 +1,292 @@
+"""The ``repro history`` CLI family over the run-history store.
+
+Subcommands (all read the sqlite store described in
+:mod:`repro.obs.store`; path from ``--store``, ``REPRO_STORE``, or the
+default ``results/json/history.db``):
+
+* ``history list`` — newest-first invocation rows (git SHA, config
+  hash, experiments, wall/CPU seconds, result counts);
+* ``history show REF`` — one run in full: provenance, per-result
+  metrics, recorded events;
+* ``history top`` — best results across *all* history by one metric
+  (``--metric accesses_per_sec`` answers "did this PR actually make
+  the simulator faster?");
+* ``history export REF`` — reconstruct a BENCH-shaped JSON summary
+  (what ``compare`` consumes) to stdout or ``--out``;
+* ``history gc --keep N`` — prune old runs (cascades to results,
+  metrics, events, engine stats);
+* ``history query 'SELECT …'`` — raw SQL passthrough, rendered as an
+  aligned table (``--csv`` for scripts). See the cookbook in
+  ``docs/observability.md``.
+
+Run references: ``last``, ``last-N``, a numeric id, or any of those
+with a ``store:`` prefix (the form ``repro compare`` shares).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import List, Optional
+
+from repro.obs.store import RunStore, default_store_path
+
+
+def _fmt_when(ts: Optional[float]) -> str:
+    """Compact local timestamp for table cells."""
+    if not ts:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(ts))
+
+
+def _short(value: Optional[str], width: int = 10) -> str:
+    """Truncate a hash-ish string for display."""
+    if not value:
+        return "-"
+    return value[:width]
+
+
+def _open_store(path: Optional[str]) -> RunStore:
+    """Open the store at ``path`` or the resolved default."""
+    return RunStore(path or default_store_path())
+
+
+def _cmd_list(store: RunStore, args) -> int:
+    """``history list``: newest-first run rows."""
+    from repro.harness.reporting import Table
+
+    rows = store.list_runs(limit=args.limit)
+    table = Table(
+        f"Run history ({store.path})",
+        ["id", "started", "git", "cfg", "experiments", "engine",
+         "wall s", "cpu s", "results"],
+        precision=1,
+    )
+    for row in rows:
+        experiments = ",".join((row.get("experiments") or {}).keys()) or "-"
+        table.add_row(
+            row["id"],
+            _fmt_when(row.get("started_unix")),
+            _short(row.get("git_sha")),
+            _short(row.get("config_hash")),
+            experiments[:28],
+            row.get("engine") or "batched",
+            row.get("wall_s"),
+            row.get("cpu_s"),
+            row.get("results"),
+        )
+    if not rows:
+        table.add_note("no runs recorded yet")
+    print(table.render())
+    return 0
+
+
+def _cmd_show(store: RunStore, args) -> int:
+    """``history show REF``: one run's provenance, results and events."""
+    from repro.harness.reporting import Table
+
+    run_id = store.resolve_ref(args.ref)
+    run = store.run_row(run_id)
+    print(f"run {run_id} @ {_fmt_when(run.get('started_unix'))}")
+    for key in ("git_sha", "config_hash", "engine", "seed", "scale",
+                "jobs", "wall_s", "cpu_s"):
+        value = run.get(key)
+        if value is not None:
+            print(f"  {key}: {value}")
+    workloads = run.get("workloads")
+    if workloads:
+        print(f"  workloads: {', '.join(workloads)}")
+    experiments = run.get("experiments") or {}
+    if experiments:
+        shown = ", ".join(
+            f"{name} ({entry.get('wall_s', 0) or 0:.1f}s)"
+            if isinstance(entry, dict) else name
+            for name, entry in experiments.items()
+        )
+        print(f"  experiments: {shown}")
+    results = store.results_for(run_id)
+    if results:
+        table = Table(
+            "Results",
+            ["workload", "config", "sim s", "acc/s", "LLC miss %",
+             "error", "slow %"],
+            precision=2,
+        )
+        for row in results:
+            slow = row.get("slow_path_fraction")
+            table.add_row(
+                row.get("workload"),
+                row.get("config"),
+                row.get("sim_wall_s"),
+                row.get("accesses_per_sec"),
+                100.0 * (row.get("llc_miss_rate") or 0.0),
+                row.get("error"),
+                None if slow is None else 100.0 * slow,
+            )
+        print()
+        print(table.render())
+    events = store.events_for(run_id)
+    if events:
+        counts: dict = {}
+        for ev in events:
+            counts[ev["kind"]] = counts.get(ev["kind"], 0) + 1
+        print()
+        print(
+            "events: "
+            + ", ".join(f"{kind} x{n}" for kind, n in sorted(counts.items()))
+        )
+        if args.events:
+            for ev in events:
+                print(f"  {json.dumps(ev, default=str)}")
+    return 0
+
+
+def _cmd_top(store: RunStore, args) -> int:
+    """``history top``: best results across history by one metric."""
+    from repro.harness.reporting import Table
+
+    rows = store.top(
+        args.metric,
+        workload=args.workload,
+        config=args.config,
+        limit=args.limit,
+        best="min" if args.min else "max",
+    )
+    table = Table(
+        f"Top {args.metric} ({'min' if args.min else 'max'} first)",
+        ["run", "workload", "config", args.metric],
+        precision=3,
+    )
+    for row in rows:
+        table.add_row(
+            row["run_id"], row["workload"], row["config"], row["value"]
+        )
+    if not rows:
+        table.add_note("no matching results")
+    print(table.render())
+    return 0
+
+
+def _cmd_export(store: RunStore, args) -> int:
+    """``history export REF``: BENCH-shaped JSON to stdout or --out."""
+    summary = store.export_run(store.resolve_ref(args.ref))
+    if args.out:
+        from repro.obs.output import write_json
+
+        write_json(args.out, summary)
+        print(f"exported run {summary['store']['run_id']} to {args.out}")
+    else:
+        print(json.dumps(summary, indent=2, default=str))
+    return 0
+
+
+def _cmd_gc(store: RunStore, args) -> int:
+    """``history gc``: prune all but the newest ``--keep`` runs."""
+    dropped = store.gc(args.keep)
+    print(f"dropped {dropped} run(s); {len(store.run_ids())} kept")
+    return 0
+
+
+def _cmd_query(store: RunStore, args) -> int:
+    """``history query``: raw SQL passthrough, aligned or CSV."""
+    headers, rows = store.query(args.sql)
+    if args.csv:
+        import csv
+        import sys
+
+        writer = csv.writer(sys.stdout)
+        if args.header:
+            writer.writerow(headers)
+        writer.writerows(rows)
+        return 0
+    from repro.harness.reporting import Table
+
+    table = Table("query", headers or ["(no columns)"], precision=4)
+    for row in rows:
+        table.add_row(*row)
+    if not rows:
+        table.add_note("no rows")
+    print(table.render())
+    return 0
+
+
+def build_history_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``history`` subcommand family."""
+    parser = argparse.ArgumentParser(
+        prog="repro history",
+        description="Inspect the sqlite run-history store "
+        "(docs/observability.md).",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="history database (default: REPRO_STORE or "
+        "results/json/history.db)",
+    )
+    sub = parser.add_subparsers(dest="action")
+    p_list = sub.add_parser("list", help="newest-first recorded runs")
+    p_list.add_argument(
+        "--limit", type=int, default=20, help="rows to show (default 20)"
+    )
+    p_show = sub.add_parser("show", help="one run in full")
+    p_show.add_argument("ref", help="run ref: last, last-N or an id")
+    p_show.add_argument(
+        "--events", action="store_true",
+        help="also dump the run's recorded events as JSON lines",
+    )
+    p_top = sub.add_parser(
+        "top", help="best results across history by one metric"
+    )
+    p_top.add_argument(
+        "--metric", default="accesses_per_sec",
+        help="results column to rank by (default accesses_per_sec)",
+    )
+    p_top.add_argument("--workload", default=None, help="filter by workload")
+    p_top.add_argument("--config", default=None, help="filter by config label")
+    p_top.add_argument(
+        "--limit", type=int, default=10, help="rows to show (default 10)"
+    )
+    p_top.add_argument(
+        "--min", action="store_true",
+        help="rank ascending (lower is better, e.g. error)",
+    )
+    p_export = sub.add_parser(
+        "export", help="reconstruct a BENCH-shaped JSON summary"
+    )
+    p_export.add_argument("ref", help="run ref: last, last-N or an id")
+    p_export.add_argument(
+        "--out", default=None, help="write here instead of stdout"
+    )
+    p_gc = sub.add_parser("gc", help="prune old runs")
+    p_gc.add_argument(
+        "--keep", type=int, required=True, help="newest runs to keep"
+    )
+    p_query = sub.add_parser("query", help="raw SQL over the store")
+    p_query.add_argument("sql", help="SELECT statement to run")
+    p_query.add_argument(
+        "--csv", action="store_true", help="CSV output for scripts"
+    )
+    p_query.add_argument(
+        "--header", action="store_true", help="with --csv: emit a header row"
+    )
+    return parser
+
+
+def main_history(argv: List[str]) -> int:
+    """Entry point for ``repro history …`` (returns an exit code)."""
+    parser = build_history_parser()
+    args = parser.parse_args(argv)
+    if args.action is None:
+        parser.print_help()
+        return 2
+    handlers = {
+        "list": _cmd_list,
+        "show": _cmd_show,
+        "top": _cmd_top,
+        "export": _cmd_export,
+        "gc": _cmd_gc,
+        "query": _cmd_query,
+    }
+    with _open_store(args.store) as store:
+        return handlers[args.action](store, args)

@@ -33,6 +33,7 @@ class Counter:
     __slots__ = ("name", "value")
 
     def __init__(self, name: str):
+        """Create the counter at zero."""
         self.name = name
         self.value = 0
 
@@ -41,6 +42,7 @@ class Counter:
         self.value += n
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot."""
         return {"type": "counter", "value": self.value}
 
 
@@ -50,6 +52,7 @@ class Gauge:
     __slots__ = ("name", "value")
 
     def __init__(self, name: str):
+        """Create the gauge at zero."""
         self.name = name
         self.value = 0.0
 
@@ -58,6 +61,7 @@ class Gauge:
         self.value = value
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot."""
         return {"type": "gauge", "value": self.value}
 
 
@@ -72,6 +76,7 @@ class Histogram:
     __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str):
+        """Create an empty histogram."""
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -100,6 +105,7 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot (count, mean, min/max, buckets)."""
         return {
             "type": "histogram",
             "count": self.count,
@@ -123,15 +129,18 @@ class Timer:
     __slots__ = ("name", "hist", "_start")
 
     def __init__(self, name: str):
+        """Create a timer over an empty histogram."""
         self.name = name
         self.hist = Histogram(name)
         self._start = 0
 
     def __enter__(self) -> "Timer":
+        """Start timing a block."""
         self._start = perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> None:
+        """Record the block's duration."""
         self.hist.observe(perf_counter_ns() - self._start)
 
     def observe_ns(self, duration_ns: int) -> None:
@@ -140,17 +149,21 @@ class Timer:
 
     @property
     def count(self) -> int:
+        """Number of recorded durations."""
         return self.hist.count
 
     @property
     def total_ns(self) -> float:
+        """Sum of recorded durations in nanoseconds."""
         return self.hist.total
 
     @property
     def total_seconds(self) -> float:
+        """Sum of recorded durations in seconds."""
         return self.hist.total / 1e9
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot (histogram plus total seconds)."""
         out = self.hist.as_dict()
         out["type"] = "timer"
         out["total_seconds"] = self.total_seconds
@@ -167,22 +180,23 @@ class _NullInstrument:
     total_seconds = 0.0
 
     def inc(self, n: int = 1) -> None:
-        pass
+        """No-op."""
 
     def set(self, value: float) -> None:
-        pass
+        """No-op."""
 
     def observe(self, value: float) -> None:
-        pass
+        """No-op."""
 
     def observe_ns(self, duration_ns: int) -> None:
-        pass
+        """No-op."""
 
     def __enter__(self) -> "_NullInstrument":
+        """No-op context entry."""
         return self
 
     def __exit__(self, *exc) -> None:
-        pass
+        """No-op context exit."""
 
 
 #: Shared no-op instrument (what a disabled registry returns).
@@ -198,6 +212,7 @@ class MetricsRegistry:
     """
 
     def __init__(self, enabled: bool = True):
+        """Create an empty registry (see class docstring)."""
         self.enabled = enabled
         self._instruments: Dict[str, object] = {}
         self._sources: Dict[str, Callable[[], dict]] = {}
@@ -205,6 +220,7 @@ class MetricsRegistry:
     # ---------------------------------------------------------- instruments
 
     def _get(self, name: str, cls):
+        """Get-or-create instrument ``name`` of type ``cls``."""
         if not self.enabled:
             return NULL
         inst = self._instruments.get(name)

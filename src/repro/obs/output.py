@@ -28,13 +28,26 @@ DEFAULT_JSON_DIR = os.path.join("results", "json")
 
 
 def write_json(path: str, obj) -> str:
-    """Pretty-print ``obj`` to ``path``, creating parent directories."""
+    """Pretty-print ``obj`` to ``path``, creating parent directories.
+
+    The write is atomic: the JSON lands in a same-directory temp file
+    that is ``os.replace``d over ``path``, so a crash (or SIGKILL) at
+    any instant leaves either the old file or the new one — never a
+    truncated merge. This matters most for the cumulative
+    ``BENCH_obs.json``, which is read-modify-written on every run.
+    """
     directory = os.path.dirname(path)
     if directory:
         os.makedirs(directory, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(obj, fh, indent=2, default=str)
-        fh.write("\n")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(obj, fh, indent=2, default=str)
+            fh.write("\n")
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
     return path
 
 

@@ -23,14 +23,17 @@ class PhaseStat:
     __slots__ = ("total_ns", "count")
 
     def __init__(self):
+        """Start at zero time, zero entries."""
         self.total_ns = 0
         self.count = 0
 
     @property
     def seconds(self) -> float:
+        """Accumulated time in seconds."""
         return self.total_ns / 1e9
 
     def as_dict(self) -> dict:
+        """JSON-friendly snapshot."""
         return {"seconds": self.seconds, "count": self.count}
 
 
@@ -44,6 +47,7 @@ class PhaseProfiler:
     """
 
     def __init__(self, enabled: bool = True, tracer=None):
+        """Create an empty profiler (see class docstring)."""
         self.enabled = enabled
         self.tracer = tracer
         self._phases: Dict[str, PhaseStat] = {}

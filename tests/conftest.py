@@ -12,6 +12,18 @@ from repro.trace.region import Region, RegionMap
 from repro.trace.trace import TraceBuilder
 
 
+@pytest.fixture(autouse=True)
+def _isolated_history_store(tmp_path, monkeypatch):
+    """Point the run-history store at a per-test path.
+
+    CLI recording is on by default, so tests invoking ``main([...])``
+    without ``--json-out`` would otherwise write
+    ``results/json/history.db`` into the repo tree. Tests that care
+    about path resolution delete ``REPRO_STORE`` themselves.
+    """
+    monkeypatch.setenv("REPRO_STORE", str(tmp_path / "history.db"))
+
+
 @pytest.fixture
 def rng():
     """Deterministic RNG for tests."""

@@ -176,3 +176,68 @@ class TestDoppelgangerInstrumentation:
         assert "map_generation" in EVENT_KINDS
         assert "back_invalidation" in EVENT_KINDS
         assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+class TestDropAccounting:
+    """Ring wrap-around is counted, not silent (observability PR)."""
+
+    def test_no_drops_below_capacity(self):
+        ring = RingBufferSink(capacity=8)
+        tracer = Tracer([ring])
+        for i in range(8):
+            tracer.emit("tick", i=i)
+        assert ring.dropped_events == 0
+        assert ring.total_emitted == 8
+
+    def test_wraparound_counts_drops(self):
+        ring = RingBufferSink(capacity=4)
+        tracer = Tracer([ring])
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        assert ring.dropped_events == 6
+        assert len(ring.events) == 4
+        # The invariant the class docstring promises:
+        assert ring.total_emitted == len(ring.events) + ring.dropped_events
+        # Oldest surviving event is the first one NOT dropped.
+        assert ring.events[0].fields["i"] == 6
+
+    def test_clear_is_not_a_drop(self):
+        ring = RingBufferSink(capacity=4)
+        tracer = Tracer([ring])
+        for i in range(4):
+            tracer.emit("tick", i=i)
+        ring.clear()
+        assert ring.dropped_events == 0
+        assert ring.total_emitted == 4
+
+    def test_ring_summary(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer([ring])
+        for i in range(5):
+            tracer.emit("tick", i=i)
+        summary = ring.summary()
+        assert summary["capacity"] == 2
+        assert summary["buffered"] == 2
+        assert summary["total_emitted"] == 5
+        assert summary["dropped_events"] == 3
+
+    def test_tracer_summary_exposes_drops(self):
+        ring = RingBufferSink(capacity=2)
+        tracer = Tracer([ring], sample=2)
+        for i in range(10):
+            tracer.emit("tick", i=i)
+        summary = tracer.summary()
+        assert summary["emitted"] == 10
+        assert summary["forwarded"] == 5  # 1-in-2 sampling
+        assert summary["dropped_events"] == 3  # 5 forwarded - 2 buffered
+        assert summary["sinks"][0]["sink"] == "RingBufferSink"
+
+    def test_jsonl_sink_never_drops(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlFileSink(path)
+        tracer = Tracer([sink])
+        for i in range(5):
+            tracer.emit("tick", i=i)
+        tracer.close()
+        assert tracer.summary()["dropped_events"] == 0
+        assert sink.summary()["written"] == 5

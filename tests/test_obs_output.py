@@ -144,3 +144,44 @@ class TestRenderReport:
     def test_write_json_creates_parents(self, tmp_path):
         path = write_json(str(tmp_path / "a" / "b.json"), {"x": 1})
         assert load_json(path) == {"x": 1}
+
+
+class TestAtomicWrite:
+    """write_json must never leave a truncated file (crash window)."""
+
+    def test_failed_serialization_keeps_old_file(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_json(path, {"runs": [1, 2, 3]})
+
+        class Unserializable:
+            def __str__(self):
+                raise RuntimeError("boom mid-dump")
+
+        try:
+            write_json(path, {"runs": Unserializable()})
+        except RuntimeError:
+            pass
+        # The original content survived the crashed write...
+        assert load_json(path) == {"runs": [1, 2, 3]}
+        # ...and the temp file was cleaned up.
+        assert os.listdir(str(tmp_path)) == ["bench.json"]
+
+    def test_replace_is_atomic_not_in_place(self, tmp_path, monkeypatch):
+        # If write_json opened the target directly, a crash mid-write
+        # would truncate it; assert the data travels via os.replace.
+        path = str(tmp_path / "bench.json")
+        write_json(path, {"v": 1})
+        calls = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            calls.append((src, dst))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        write_json(path, {"v": 2})
+        assert len(calls) == 1
+        src, dst = calls[0]
+        assert dst == path and src != path
+        assert os.path.dirname(src) == os.path.dirname(path)
+        assert load_json(path) == {"v": 2}
