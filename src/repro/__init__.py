@@ -36,7 +36,11 @@ _LAZY_EXPORTS = {
     "dopp_spec": "repro.harness.runner",
     "uni_spec": "repro.harness.runner",
     "run_trace": "repro.harness.runner",
-    "experiment_names": "repro.harness.experiments",
+    "experiment_names": "repro.harness.strategy",
+    "ExperimentStrategy": "repro.harness.strategy",
+    "Requirements": "repro.harness.strategy",
+    "StrategyRegistry": "repro.harness.strategy",
+    "run_strategies": "repro.harness.strategy",
     "ingest_trace": "repro.ingest",
     "IngestOptions": "repro.ingest",
     "SystemResult": "repro.hierarchy.system",
@@ -49,6 +53,7 @@ _LAZY_EXPORTS = {
     "ConfigError": "repro.errors",
     "TraceFormatError": "repro.errors",
     "SimulationFault": "repro.errors",
+    "UnknownExperimentError": "repro.errors",
 }
 
 __all__ = ["__version__"] + sorted(_LAZY_EXPORTS)
@@ -61,9 +66,16 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         ReproError,
         SimulationFault,
         TraceFormatError,
+        UnknownExperimentError,
     )
     from repro.resilience.faults import FaultConfig, FaultInjector  # noqa: F401
-    from repro.harness.experiments import experiment_names  # noqa: F401
+    from repro.harness.strategy import (  # noqa: F401
+        ExperimentStrategy,
+        Requirements,
+        StrategyRegistry,
+        experiment_names,
+        run_strategies,
+    )
     from repro.harness.runner import (  # noqa: F401
         ConfigSpec,
         ExperimentContext,

@@ -133,7 +133,7 @@ def simulate(
 
 
 def run_experiment(
-    name: str,
+    experiment,
     *,
     ctx: Optional[ExperimentContext] = None,
     seed: Optional[int] = None,
@@ -143,15 +143,20 @@ def run_experiment(
     jobs: int = 1,
     json_dir: Optional[str] = None,
 ) -> Dict[str, "object"]:
-    """Run one experiment driver and return its tables.
+    """Run one experiment strategy and return its tables.
 
     Args:
-        name: experiment name (``repro.cli list`` prints them all).
+        experiment: a registered experiment name (``repro.cli list``
+            prints them all, including installed plugins), or an
+            :class:`~repro.harness.strategy.ExperimentStrategy`
+            instance/class — an unregistered strategy object runs
+            directly, no registration required.
         ctx: reuse an existing context; otherwise one is built from
             ``seed`` / ``scale`` / ``workloads`` / ``engine``.
-        jobs: with ``jobs > 1``, prefetch the experiment's simulations
-            across a process pool first (results are identical to a
-            sequential run; see :mod:`repro.harness.parallel`).
+        jobs: with ``jobs > 1``, prefetch the simulations the
+            strategy's ``requires`` metadata declares across a process
+            pool first (results are identical to a sequential run; see
+            :mod:`repro.harness.parallel`).
         json_dir: also serialize the tables to
             ``<json_dir>/<name>.json`` via the unified ``to_dict()``
             schema.
@@ -160,27 +165,23 @@ def run_experiment(
         Mapping of sub-table key to
         :class:`~repro.harness.reporting.Table` (single-table
         experiments use the key ``""``).
+
+    Raises:
+        UnknownExperimentError: ``experiment`` is a name not present
+            in the strategy registry (a :class:`ValueError` subclass,
+            so pre-existing ``except ValueError`` callers still work).
     """
-    from repro.harness.experiments import EXPERIMENTS
+    from repro.harness.strategy import registry, run_strategies
 
-    try:
-        driver, needs_ctx = EXPERIMENTS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from {list(EXPERIMENTS)}"
-        ) from None
-    if needs_ctx and ctx is None:
-        ctx = ExperimentContext(
-            seed=seed, scale=scale, workloads=workloads, engine=engine
-        )
-    if needs_ctx and jobs > 1:
-        from repro.harness.parallel import prefetch_runs
-
-        prefetch_runs(ctx, [name], jobs)
-    result = driver(ctx) if needs_ctx else driver()
-    tables = result if isinstance(result, dict) else {"": result}
-    if json_dir:
-        from repro.obs.output import save_experiment_json
-
-        save_experiment_json(name, tables, json_dir)
-    return tables
+    strategy = registry.resolve(experiment)
+    result = run_strategies(
+        [strategy],
+        ctx=ctx,
+        seed=seed,
+        scale=scale,
+        workloads=workloads,
+        engine=engine,
+        jobs=jobs,
+        json_dir=json_dir,
+    )
+    return result.outcomes[0].tables

@@ -1,28 +1,33 @@
 """Command-line interface for the experiment harness.
 
-Regenerate any table or figure of the paper from the shell::
+Experiments are :class:`~repro.harness.strategy.ExperimentStrategy`
+plugins resolved through the strategy registry — the CLI has no
+per-experiment branches. Regenerate any table or figure of the paper
+from the shell::
 
-    python -m repro.cli list
-    python -m repro.cli fig07
-    python -m repro.cli fig10 --scale 0.25 --workloads canneal jpeg
+    python -m repro.cli list                 # registered names
+    python -m repro.cli experiments --list   # names + requirements
+    python -m repro.cli <name>
+    python -m repro.cli run <name> --scale 0.25 --workloads canneal jpeg
     python -m repro.cli all --out results/
 
-Experiment names follow the paper: ``fig02``, ``table2``, ``fig07``,
-``fig08``, ``fig09``, ``fig10``, ``fig11``, ``fig12``, ``fig13``,
-``fig14``, ``table3``, ``headline``. Two meta-names select several at
-once: ``all`` (everything) and ``experiments`` (an explicit sweep —
-``repro experiments fig10 fig11 --jobs 4`` — whose simulations are
-prefetched across a process pool with ``--jobs``).
+``list`` prints the registered experiment names (the paper's figures
+and tables, plus any installed plugin). Three forms run them: a bare
+``<name> [name ...]``, the equivalent explicit ``run <name> [name
+...]``, and two meta-names selecting several at once — ``all``
+(everything) and ``experiments`` (an explicit sweep, default all).
+Both subparsers share one flag set, so every option below works on
+each form.
 
 Engine and parallelism::
 
-    python -m repro.cli table2 --engine reference   # bit-identical check
+    python -m repro.cli <name> --engine reference   # bit-identical check
     python -m repro.cli experiments --jobs 4        # full sweep, 4 procs
 
 Observability (see ``docs/observability.md``)::
 
-    python -m repro.cli fig10 --scale 0.25 --profile
-    python -m repro.cli fig10 --trace-out trace.jsonl --trace-sample 100
+    python -m repro.cli <name> --scale 0.25 --profile
+    python -m repro.cli <name> --trace-out trace.jsonl --trace-sample 100
     python -m repro.cli report
     python -m repro.cli compare old/BENCH_obs.json new/BENCH_obs.json
 
@@ -35,20 +40,20 @@ Run history (every invocation lands in a sqlite store unless
     python -m repro.cli history query 'SELECT workload, MAX(error) \
         FROM results GROUP BY workload'
     python -m repro.cli compare store:last-1 store:last
-    python -m repro.cli experiments fig10 --jobs 4 --progress
+    python -m repro.cli experiments <name> --jobs 4 --progress
 
 Resilience (see ``docs/robustness.md``)::
 
-    python -m repro.cli headline --fault-rate 1e-3 --fault-seed 3
+    python -m repro.cli <name> --fault-rate 1e-3 --fault-seed 3
     python -m repro.cli experiments --jobs 4 --timeout 900 --retries 2 \
         --checkpoint-dir ckpt/
     python -m repro.cli experiments --jobs 4 --checkpoint-dir ckpt/ --resume
     python -m repro.cli replay results/trace.npz
 
 Typed failures map to distinct exit codes — 2 for configuration
-errors, 3 for malformed trace files, 4 for simulation faults — with a
-one-line message on stderr; ``--log-level debug`` additionally prints
-the full traceback.
+errors (including an unknown experiment name), 3 for malformed trace
+files, 4 for simulation faults — with a one-line message on stderr;
+``--log-level debug`` additionally prints the full traceback.
 
 ``--profile`` prints a per-phase timing breakdown and writes the event
 trace and metrics snapshot next to the JSON tables. Every experiment
@@ -56,6 +61,10 @@ additionally serializes its tables to ``results/json/<name>.json`` and
 updates the cumulative ``results/json/BENCH_obs.json`` run summary;
 ``report`` renders that summary back as text and ``compare`` diffs two
 summaries, exiting 1 on a regression.
+
+Third-party strategies installed under the ``repro.experiments`` entry
+point appear in ``list`` and run exactly like the built-ins — see
+``docs/experiments.md``.
 """
 
 from __future__ import annotations
@@ -64,83 +73,20 @@ import argparse
 import logging
 import os
 import sys
-import warnings
-from time import perf_counter_ns
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.errors import ConfigError, ReproError
-from repro.harness.experiments import EXPERIMENTS as _EXPERIMENTS
-from repro.harness.experiments import experiment_names
-from repro.harness.runner import ExperimentContext
+from repro.harness.strategy import experiment_names, registry, run_strategies
 from repro.obs import Observability, configure_logging, get_logger
 from repro.obs.output import (
     DEFAULT_JSON_DIR,
     render_report,
-    save_experiment_json,
     update_bench_summary,
 )
 
-__all__ = ["experiment_names", "main", "run_experiment"]
+__all__ = ["experiment_names", "main"]
 
 log = get_logger("cli")
-
-
-def _run_experiment(
-    name: str,
-    ctx: Optional[ExperimentContext],
-    out: Optional[str],
-    json_dir: str = DEFAULT_JSON_DIR,
-    obs: Optional[Observability] = None,
-) -> float:
-    """Run one experiment; print, JSON-serialize and optionally save it.
-
-    Returns the experiment's wall time in seconds.
-    """
-    driver, needs_ctx = _EXPERIMENTS[name]
-    obs = obs or Observability.disabled()
-    start_ns = perf_counter_ns()
-    with obs.profiler.phase(f"experiment/{name}"):
-        result = driver(ctx) if needs_ctx else driver()
-    tables: Dict[str, object] = result if isinstance(result, dict) else {"": result}
-    for key, table in tables.items():
-        print()
-        print(table.render())
-        if out:
-            filename = f"{name}_{key}.txt" if key else f"{name}.txt"
-            table.save(directory=out, filename=filename)
-    wall_s = (perf_counter_ns() - start_ns) / 1e9
-    save_experiment_json(name, tables, json_dir)
-    update_bench_summary(
-        json_dir,
-        experiments={
-            name: {"wall_s": wall_s, "tables": [k or "main" for k in tables]}
-        },
-    )
-    print(f"\n[{name} done in {wall_s:.1f}s]")
-    return wall_s
-
-
-def run_experiment(
-    name: str,
-    ctx: Optional[ExperimentContext],
-    out: Optional[str],
-    json_dir: str = DEFAULT_JSON_DIR,
-    obs: Optional[Observability] = None,
-) -> float:
-    """Deprecated shim; use :func:`repro.run_experiment` instead.
-
-    Kept so pre-1.1 scripts keep working: same signature, still prints
-    the tables and returns the wall time in seconds. The supported
-    replacement returns the tables themselves and lives in
-    :mod:`repro.api`.
-    """
-    warnings.warn(
-        "repro.cli.run_experiment is deprecated; use repro.run_experiment "
-        "(which returns the tables) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _run_experiment(name, ctx, out, json_dir=json_dir, obs=obs)
 
 
 def _main_compare(argv) -> int:
@@ -413,46 +359,42 @@ def _main_ingest(argv) -> int:
     return 0
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro", description="Regenerate the paper's tables and figures."
-    )
-    parser.add_argument(
-        "experiment",
-        help="experiment name, 'all', 'experiments', 'list', 'report' or 'compare'",
-    )
-    parser.add_argument(
-        "extra",
-        nargs="*",
-        help="with 'experiments': the names to sweep (default: all)",
-    )
-    parser.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
-    parser.add_argument(
+def _common_options() -> argparse.ArgumentParser:
+    """The flag set shared by every experiment-running form.
+
+    Built once as an argparse *parent* parser (``add_help=False``) and
+    attached to both the ``run`` and ``experiments`` subparsers via
+    ``parents=[...]`` — a flag added here appears on every form, so
+    the two can never drift apart.
+    """
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
+    common.add_argument(
         "--scale", type=float, default=None, help="dataset scale (default 1.0)"
     )
-    parser.add_argument(
+    common.add_argument(
         "--workloads", nargs="*", default=None, help="benchmark subset"
     )
-    parser.add_argument(
+    common.add_argument(
         "--engine",
         default=None,
         choices=("batched", "reference"),
         help="simulation engine (default: batched; both are bit-identical)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--jobs",
         type=int,
         default=1,
         help="prefetch simulations across N worker processes (default 1)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--no-split-fans",
         action="store_true",
         help="keep one --jobs task per workload instead of splitting a "
         "workload's config fan across idle workers (results are "
         "identical either way)",
     )
-    resil = parser.add_argument_group(
+    resil = common.add_argument_group(
         "resilience", "crash-tolerant sweeps (docs/robustness.md)"
     )
     resil.add_argument(
@@ -481,7 +423,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="load completed results from --checkpoint-dir before "
         "simulating (skips finished pairs; byte-identical output)",
     )
-    faults = parser.add_argument_group(
+    faults = common.add_argument_group(
         "fault injection", "deterministic seeded faults (docs/robustness.md)"
     )
     faults.add_argument(
@@ -529,42 +471,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="structures to inject into: approx_data, llc, dram "
         "(default: approx_data)",
     )
-    parser.add_argument("--out", default=None, help="directory to save text tables")
-    parser.add_argument(
+    common.add_argument("--out", default=None, help="directory to save text tables")
+    common.add_argument(
         "--json-out",
         default=DEFAULT_JSON_DIR,
         help=f"directory for JSON tables and BENCH_obs.json (default {DEFAULT_JSON_DIR})",
     )
-    parser.add_argument(
+    common.add_argument(
         "--log-level",
         default="WARNING",
         type=str.upper,
         choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
         help="logging level for the repro logger",
     )
-    parser.add_argument(
+    common.add_argument(
         "--profile",
         action="store_true",
         help="enable observability: per-phase timing breakdown, event trace "
         "and metrics snapshot under --json-out",
     )
-    parser.add_argument(
+    common.add_argument(
         "--trace-out",
         default=None,
         help="write a JSONL event trace to this path (implies tracing)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--trace-sample",
         type=int,
         default=1,
         help="emit 1-in-N traced events (default 1 = every event)",
     )
-    parser.add_argument(
+    common.add_argument(
         "--metrics-out",
         default=None,
         help="write a metrics JSON snapshot to this path (implies metrics)",
     )
-    history = parser.add_argument_group(
+    history = common.add_argument_group(
         "run history", "sqlite run-history store (docs/observability.md)"
     )
     history.add_argument(
@@ -583,6 +525,45 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --jobs > 1: stream live worker heartbeats to an "
         "in-place terminal status line (and into the history store)",
+    )
+    return common
+
+
+def _run_parser(prog: str = "repro") -> argparse.ArgumentParser:
+    """Parser for the ``run <name> [name ...]`` (and bare-name) form."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Run one or more registered experiments.",
+        parents=[_common_options()],
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="experiment",
+        help="registered experiment name(s); 'repro list' prints them",
+    )
+    return parser
+
+
+def _experiments_parser(prog: str = "repro experiments") -> argparse.ArgumentParser:
+    """Parser for the ``experiments`` / ``all`` sweep forms."""
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Sweep several experiments (default: every "
+        "registered one).",
+        parents=[_common_options()],
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help="the names to sweep (default: all registered)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="render the strategy registry (name, description, "
+        "requirements) and exit",
     )
     return parser
 
@@ -610,83 +591,6 @@ def _fault_config(args):
     )
 
 
-def _cpu_seconds(start) -> float:
-    """CPU seconds (self + children) since an ``os.times()`` snapshot."""
-    end = os.times()
-    return sum(end[:4]) - sum(start[:4])
-
-
-def _start_store_run(args, argv, names, faults):
-    """Open the history store and insert this invocation's run row.
-
-    Returns ``(store, run_id)``, or ``(None, None)`` when the store
-    cannot be opened — the harness never fails because telemetry did,
-    but the warning names the path so a deliberate ``--store`` points
-    somewhere debuggable.
-    """
-    from repro.obs.store import (
-        RunStore,
-        config_digest,
-        default_store_path,
-        git_sha,
-    )
-
-    path = args.store or default_store_path(args.json_out)
-    try:
-        store = RunStore(path)
-        run_id = store.start_run(
-            experiments=names,
-            workloads=args.workloads,
-            engine=args.engine or "batched",
-            seed=args.seed,
-            scale=args.scale,
-            jobs=args.jobs,
-            argv=list(argv),
-            sha=git_sha(),
-            config_hash=config_digest(
-                {
-                    "experiments": list(names),
-                    "seed": args.seed,
-                    "scale": args.scale,
-                    "workloads": args.workloads,
-                    "engine": args.engine,
-                    "faults": faults.to_dict() if faults is not None else None,
-                }
-            ),
-        )
-    except Exception as exc:
-        print(f"[history store {path} unavailable: {exc}]", file=sys.stderr)
-        return None, None
-    return store, run_id
-
-
-def _record_store_run(
-    store, run_id, ctx, progress, *, wall_s, cpu_s, experiments
-):
-    """Land results, heartbeats and final timings in the history store."""
-    try:
-        if ctx is not None:
-            records = ctx.run_records()
-            for row in ctx.run_summaries():
-                store.add_result(
-                    run_id,
-                    row,
-                    records.get((row["workload"], row["config"])),
-                )
-        if progress is not None:
-            store.add_events(run_id, progress.events_for_store())
-        store.finish_run(
-            run_id,
-            wall_s=wall_s,
-            cpu_s=cpu_s,
-            experiments=experiments,
-            context=ctx.context_summary() if ctx is not None else None,
-        )
-        print(f"[run {run_id} recorded in {store.path}]")
-    finally:
-        store.close()
-
-
 def main(argv=None) -> int:
     """CLI entry point.
 
@@ -708,7 +612,7 @@ def main(argv=None) -> int:
 
 
 def _dispatch(argv) -> int:
-    """Route subcommands and run the experiment pipeline."""
+    """Route subcommands, then hand experiment runs to the pipeline."""
     if argv and argv[0] == "compare":
         return _main_compare(argv[1:])
     if argv and argv[0] == "replay":
@@ -720,40 +624,53 @@ def _dispatch(argv) -> int:
 
         return main_history(argv[1:])
 
-    parser = _build_parser()
-    args = parser.parse_args(argv)
-    configure_logging(args.log_level)
-
-    if args.experiment == "list":
+    head = argv[0] if argv else None
+    if head == "list":
+        args = _experiments_parser(prog="repro list").parse_args(argv[1:])
+        configure_logging(args.log_level)
         for name in experiment_names():
             print(name)
         return 0
-
-    if args.experiment == "report":
+    if head == "report":
+        parser = _experiments_parser(prog="repro report")
+        args = parser.parse_args(argv[1:])
+        configure_logging(args.log_level)
         print(render_report(args.json_out))
         return 0
-
-    if args.experiment in ("all", "experiments"):
-        names = args.extra or experiment_names()
-        unknown = [n for n in names if n not in _EXPERIMENTS]
-        if unknown:
-            parser.error(
-                f"unknown experiment(s) {unknown}; choose from {experiment_names()}"
-            )
-    elif args.experiment in _EXPERIMENTS:
-        names = [args.experiment] + [
-            n for n in args.extra if n != args.experiment
-        ]
-        unknown = [n for n in names if n not in _EXPERIMENTS]
-        if unknown:
-            parser.error(
-                f"unknown experiment(s) {unknown}; choose from {experiment_names()}"
-            )
+    if head == "run":
+        parser = _run_parser(prog="repro run")
+        args = parser.parse_args(argv[1:])
+        names = list(dict.fromkeys(args.experiments))
+    elif head in ("all", "experiments"):
+        parser = _experiments_parser(prog=f"repro {head}")
+        args = parser.parse_args(argv[1:])
+        if head == "experiments" and args.list:
+            print(registry.table().render())
+            return 0
+        names = list(dict.fromkeys(args.experiments)) or experiment_names()
     else:
-        parser.error(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from {experiment_names()}, 'all' or 'experiments'"
-        )
+        # Legacy form: repro <name> [name ...] --flags
+        parser = _run_parser()
+        args = parser.parse_args(argv)
+        names = list(dict.fromkeys(args.experiments))
+    return _run_pipeline(parser, args, names, argv)
+
+
+def _run_pipeline(parser, args, names, argv) -> int:
+    """Validate the parsed flags and run the strategies.
+
+    All experiment mechanics — context construction, ``--jobs``
+    prefetch with fan-splitting, checkpoint/resume, observability
+    phases and history-store recording — live in
+    :func:`repro.harness.strategy.run_strategies`, driven by each
+    strategy's declared requirements. The CLI's own job is flag
+    validation plus building (and afterwards finalizing) the
+    observability bundle.
+    """
+    configure_logging(args.log_level)
+    # Resolve every name up front: an unknown experiment raises the
+    # typed UnknownExperimentError (exit code 2) before any work.
+    strategies = [registry.get(name) for name in names]
 
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
@@ -777,22 +694,23 @@ def _dispatch(argv) -> int:
             )
     faults = _fault_config(args)
 
-    start_ns = perf_counter_ns()
-    cpu_start = os.times()
-    store = run_id = None
-    if not args.no_store:
-        store, run_id = _start_store_run(args, argv, names, faults)
     progress = None
-    if args.progress and args.jobs == 1:
-        print("[--progress streams worker heartbeats; needs --jobs > 1]")
+    if args.progress:
+        if args.jobs == 1:
+            print("[--progress streams worker heartbeats; needs --jobs > 1]")
+        else:
+            from repro.obs.livestream import LiveProgressSink
+
+            progress = LiveProgressSink(stream=sys.stderr)
 
     enabled = args.profile or bool(args.trace_out) or bool(args.metrics_out)
+    stem = names[0] if len(names) == 1 else "experiments"
     trace_path = args.trace_out
     if args.profile and trace_path is None:
-        trace_path = os.path.join(args.json_out, f"trace_{args.experiment}.jsonl")
+        trace_path = os.path.join(args.json_out, f"trace_{stem}.jsonl")
     metrics_path = args.metrics_out
     if args.profile and metrics_path is None:
-        metrics_path = os.path.join(args.json_out, f"metrics_{args.experiment}.json")
+        metrics_path = os.path.join(args.json_out, f"metrics_{stem}.json")
     obs = (
         Observability(
             enabled=enabled, trace_path=trace_path, trace_sample=args.trace_sample
@@ -801,89 +719,40 @@ def _dispatch(argv) -> int:
         else Observability.disabled()
     )
 
-    ctx = None
-    if any(_EXPERIMENTS[n][1] for n in names):
-        ctx = ExperimentContext(
-            seed=args.seed,
-            scale=args.scale,
-            workloads=args.workloads,
-            obs=obs,
-            engine=args.engine,
-            faults=faults,
-        )
-        journal = None
-        if args.checkpoint_dir:
-            from repro.resilience.checkpoint import open_journal
-
-            journal = open_journal(args.checkpoint_dir, ctx)
-            if args.resume:
-                runs, errors = journal.load_into(ctx)
-                print(
-                    f"[resumed {runs} runs and {errors} errors from "
-                    f"{args.checkpoint_dir}]"
-                )
-        if args.jobs > 1:
-            from repro.harness.parallel import prefetch_runs
-
-            if enabled:
-                print(
-                    "[note: --jobs simulates in worker processes; per-access "
-                    "traces/metrics are not captured for prefetched runs]"
-                )
-            if args.progress:
-                from repro.obs.livestream import LiveProgressSink
-
-                progress = LiveProgressSink(stream=sys.stderr)
-            fetched = prefetch_runs(
-                ctx, names, args.jobs,
-                timeout=args.timeout, retries=args.retries, journal=journal,
-                split_fans=not args.no_split_fans, progress=progress,
-            )
-            if progress is not None:
-                beat = progress.summary()
-                print(
-                    f"[progress: {beat['heartbeats']} heartbeats from "
-                    f"{beat['units']} work units]"
-                )
-            if fetched:
-                print(f"[prefetched {fetched} runs across {args.jobs} jobs]")
-    experiment_walls: Dict[str, dict] = {}
-    for name in names:
-        wall_s = _run_experiment(
-            name, ctx, args.out, json_dir=args.json_out, obs=obs
-        )
-        experiment_walls[name] = {"wall_s": wall_s}
+    run_strategies(
+        strategies,
+        seed=args.seed,
+        scale=args.scale,
+        workloads=args.workloads,
+        engine=args.engine,
+        faults=faults,
+        jobs=args.jobs,
+        split_fans=not args.no_split_fans,
+        timeout=args.timeout,
+        retries=args.retries,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        obs=obs,
+        progress=progress,
+        out=args.out,
+        json_dir=args.json_out,
+        echo=print,
+        store_path=args.store,
+        record_history=not args.no_store,
+        argv=argv,
+    )
 
     if enabled:
         if metrics_path:
             obs.registry.save_json(metrics_path)
             log.info("metrics snapshot written to %s", metrics_path)
         obs.close()
-        update_bench_summary(
-            args.json_out,
-            runs=ctx.run_summaries() if ctx is not None else None,
-            profile=obs.profiler.report(),
-            context=ctx.context_summary() if ctx is not None else None,
-        )
+        update_bench_summary(args.json_out, profile=obs.profiler.report())
         if args.profile:
             print()
             print(obs.profiler.render())
             if trace_path and obs.jsonl is not None:
                 print(f"\n[event trace: {obs.jsonl.written} events -> {trace_path}]")
-    elif ctx is not None:
-        # JSON output is always on; fold run stats into the summary too.
-        update_bench_summary(
-            args.json_out,
-            runs=ctx.run_summaries(),
-            context=ctx.context_summary(),
-        )
-    if store is not None:
-        _record_store_run(
-            store, run_id, ctx, progress,
-            wall_s=(perf_counter_ns() - start_ns) / 1e9,
-            cpu_s=_cpu_seconds(cpu_start),
-            experiments=experiment_walls,
-        )
     return 0
 
 

@@ -83,6 +83,26 @@ class ConfigError(ReproError, ValueError):
     exit_code = 2
 
 
+class UnknownExperimentError(ConfigError):
+    """An experiment name absent from the strategy registry (exit code 2).
+
+    Raised by :meth:`repro.harness.strategy.StrategyRegistry.get`
+    instead of a raw ``KeyError``; the message lists every registered
+    name. Subclasses :class:`ConfigError` (and therefore
+    :class:`ValueError`), so it inherits the configuration exit code
+    and pre-existing ``except ValueError`` callers keep working.
+    """
+
+    def __init__(self, name: str, known=()):
+        """Record the unknown ``name`` and the ``known`` registry names."""
+        super().__init__(
+            f"unknown experiment {name!r}; choose from {list(known)}",
+            field="experiment",
+        )
+        self.name = name
+        self.known = list(known)
+
+
 class TraceFormatError(ReproError, ValueError):
     """Unreadable or malformed trace input (exit code 3).
 

@@ -1,12 +1,17 @@
-"""Experiment harness: one driver per table/figure of the paper.
+"""Experiment harness: strategies, one per table/figure of the paper.
 
 * :mod:`repro.harness.reporting` — plain-text table rendering shared
   by every experiment and the benchmark suite.
 * :mod:`repro.harness.runner` — configuration specs, the simulation
   pipeline (trace → hierarchy → energy), and a cache so sweeps that
   share configurations (Figs. 9-12) simulate each one once.
-* :mod:`repro.harness.experiments` — ``fig02`` ... ``fig14``,
-  ``table2``, ``table3`` drivers returning
+* :mod:`repro.harness.strategy` — the
+  :class:`~repro.harness.strategy.ExperimentStrategy` plugin API, the
+  strategy registry (built-ins plus ``repro.experiments`` entry
+  points) and the generic
+  :func:`~repro.harness.strategy.run_strategies` driver.
+* :mod:`repro.harness.experiments` — the paper's drivers and their
+  strategy classes, returning
   :class:`~repro.harness.reporting.Table` objects.
 """
 
@@ -19,15 +24,27 @@ from repro.harness.runner import (
     dopp_spec,
     uni_spec,
 )
+from repro.harness.strategy import (
+    ExperimentStrategy,
+    Requirements,
+    StrategyRegistry,
+    registry,
+    run_strategies,
+)
 from repro.harness import experiments
 
 __all__ = [
     "ConfigSpec",
     "ExperimentContext",
+    "ExperimentStrategy",
+    "Requirements",
     "RunRecord",
+    "StrategyRegistry",
     "Table",
     "baseline_spec",
     "dopp_spec",
     "experiments",
+    "registry",
+    "run_strategies",
     "uni_spec",
 ]

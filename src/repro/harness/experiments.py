@@ -1,4 +1,4 @@
-"""Experiment drivers: one function per table/figure of the paper.
+"""Experiment drivers and strategies: one per table/figure of the paper.
 
 Every driver takes an :class:`~repro.harness.runner.ExperimentContext`
 (except the two config-only ones) and returns one or more
@@ -6,6 +6,13 @@ Every driver takes an :class:`~repro.harness.runner.ExperimentContext`
 paper's series. The benchmark suite in ``benchmarks/`` wraps each
 driver, prints the tables and records timings; EXPERIMENTS.md records
 the paper-vs-measured comparison.
+
+Each driver is wrapped by an
+:class:`~repro.harness.strategy.ExperimentStrategy` subclass declaring
+its simulation requirements; the :data:`STRATEGIES` tuple (paper
+order) is what the global strategy registry discovers from this
+module, and the CLI, :func:`repro.run_experiment` and the ``--jobs``
+prefetch planner all dispatch through that registry.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ from repro.harness.runner import (
     dopp_spec,
     uni_spec,
 )
+from repro.harness.strategy import ExperimentStrategy, Requirements
 
 #: Fig. 2's similarity thresholds, as fractions.
 FIG2_THRESHOLDS = (0.0, 0.0001, 0.001, 0.01, 0.10)
@@ -532,27 +540,219 @@ def faultsweep_resilience(ctx: ExperimentContext) -> Dict[str, Table]:
     return {"error": err, "runtime": run, "injected": injected}
 
 
-# ------------------------------------------------------------------ registry
+# ---------------------------------------------------------------- strategies
+#
+# Each table/figure is an ExperimentStrategy wrapping its driver
+# function (the functions stay public: the benchmark suite and the
+# seed-sweep harness call them directly). The ``requires`` metadata is
+# the single source of truth for what a --jobs prefetch must simulate;
+# see docs/experiments.md for the plugin contract.
 
-#: name -> (driver, needs_context), in paper order. The CLI and the
-#: public :func:`repro.run_experiment` both dispatch through this.
-EXPERIMENTS = {
-    "fig02": (fig02_threshold_similarity, True),
-    "table2": (table2_approx_footprint, True),
-    "fig07": (fig07_map_space_savings, True),
-    "fig08": (fig08_compression_comparison, True),
-    "fig09": (fig09_map_space, True),
-    "fig10": (fig10_data_array, True),
-    "fig11": (fig11_energy_reduction, True),
-    "fig12": (fig12_offchip_traffic, True),
-    "fig13": (fig13_area_reduction, False),
-    "fig14": (fig14_unidoppelganger, True),
-    "table3": (table3_hardware_cost, False),
-    "headline": (summary_headline, True),
-    "faultsweep": (faultsweep_resilience, True),
-}
+
+class Fig02Strategy(ExperimentStrategy):
+    """Fig. 2: storage savings vs similarity threshold (snapshot only)."""
+
+    name = "fig02"
+    description = "storage savings vs element-wise similarity threshold"
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig02_threshold_similarity`."""
+        return fig02_threshold_similarity(ctx)
+
+
+class Table2Strategy(ExperimentStrategy):
+    """Table 2: approximate fraction of baseline LLC blocks."""
+
+    name = "table2"
+    description = "approximate fraction of LLC blocks vs paper"
+    requires = Requirements(run_specs=(baseline_spec(),))
+
+    def execute(self, ctx):
+        """Delegate to :func:`table2_approx_footprint`."""
+        return table2_approx_footprint(ctx)
+
+
+class Fig07Strategy(ExperimentStrategy):
+    """Fig. 7: storage savings vs map-space size (snapshot only)."""
+
+    name = "fig07"
+    description = "approx data storage savings vs map space size"
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig07_map_space_savings`."""
+        return fig07_map_space_savings(ctx)
+
+
+class Fig08Strategy(ExperimentStrategy):
+    """Fig. 8: Doppelgänger vs BΔI vs dedup (snapshot only)."""
+
+    name = "fig08"
+    description = "storage savings vs compression and deduplication"
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig08_compression_comparison`."""
+        return fig08_compression_comparison(ctx)
+
+
+class Fig09Strategy(ExperimentStrategy):
+    """Fig. 9: error and runtime across the map-bits sweep."""
+
+    name = "fig09"
+    description = "output error and normalized runtime vs map bits"
+    requires = Requirements(
+        run_specs=(baseline_spec(),)
+        + tuple(dopp_spec(b, 0.25) for b in MAP_BITS_SWEEP),
+        error_specs=tuple(dopp_spec(b, 0.25) for b in MAP_BITS_SWEEP),
+    )
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig09_map_space`."""
+        return fig09_map_space(ctx)
+
+
+class Fig10Strategy(ExperimentStrategy):
+    """Fig. 10: error, runtime and replacement stats vs data array."""
+
+    name = "fig10"
+    description = "output error and normalized runtime vs data array size"
+    requires = Requirements(
+        run_specs=(baseline_spec(),)
+        + tuple(dopp_spec(14, f) for f in DATA_FRACTIONS),
+        error_specs=tuple(dopp_spec(14, f) for f in DATA_FRACTIONS),
+    )
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig10_data_array`."""
+        return fig10_data_array(ctx)
+
+
+class Fig11Strategy(ExperimentStrategy):
+    """Fig. 11: LLC dynamic and leakage energy reductions."""
+
+    name = "fig11"
+    description = "LLC dynamic and leakage energy reduction"
+    requires = Requirements(
+        run_specs=(baseline_spec(),)
+        + tuple(dopp_spec(14, f) for f in DATA_FRACTIONS),
+    )
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig11_energy_reduction`."""
+        return fig11_energy_reduction(ctx)
+
+
+class Fig12Strategy(ExperimentStrategy):
+    """Fig. 12: off-chip traffic across the data-array sweep."""
+
+    name = "fig12"
+    description = "normalized off-chip memory traffic"
+    requires = Requirements(
+        run_specs=(baseline_spec(),)
+        + tuple(dopp_spec(14, f) for f in DATA_FRACTIONS),
+    )
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig12_offchip_traffic`."""
+        return fig12_offchip_traffic(ctx)
+
+
+class Fig13Strategy(ExperimentStrategy):
+    """Fig. 13: LLC area reduction (config-only, no simulation)."""
+
+    name = "fig13"
+    description = "LLC area reduction across both designs"
+    requires = Requirements(context=False)
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig13_area_reduction` (ignores ``ctx``)."""
+        return fig13_area_reduction()
+
+
+class Fig14Strategy(ExperimentStrategy):
+    """Fig. 14: uniDoppelgänger error, runtime and dynamic energy."""
+
+    name = "fig14"
+    description = "uniDoppelganger error, runtime and dynamic energy"
+    requires = Requirements(
+        run_specs=(baseline_spec(),)
+        + tuple(uni_spec(14, f) for f in UNI_FRACTIONS),
+        error_specs=tuple(uni_spec(14, f) for f in UNI_FRACTIONS),
+    )
+
+    def execute(self, ctx):
+        """Delegate to :func:`fig14_unidoppelganger`."""
+        return fig14_unidoppelganger(ctx)
+
+
+class Table3Strategy(ExperimentStrategy):
+    """Table 3: hardware cost model (config-only, no simulation)."""
+
+    name = "table3"
+    description = "per-structure size, area, latency and energy"
+    requires = Requirements(context=False)
+
+    def execute(self, ctx):
+        """Delegate to :func:`table3_hardware_cost` (ignores ``ctx``)."""
+        return table3_hardware_cost()
+
+
+class HeadlineStrategy(ExperimentStrategy):
+    """The abstract's headline claims under the base configuration."""
+
+    name = "headline"
+    description = "the abstract's headline claims, measured"
+    requires = Requirements(run_specs=(baseline_spec(), dopp_spec(14, 0.25)))
+
+    def execute(self, ctx):
+        """Delegate to :func:`summary_headline`."""
+        return summary_headline(ctx)
+
+
+class FaultsweepStrategy(ExperimentStrategy):
+    """Resilience sweep: quality and cost vs injected fault rate."""
+
+    name = "faultsweep"
+    description = "output quality and cost vs injected fault rate"
+
+    @property
+    def requires(self):
+        """Sweep specs built lazily (they pull in the fault model)."""
+        sweep = tuple(faultsweep_specs())
+        return Requirements(
+            run_specs=(baseline_spec(),) + sweep, error_specs=sweep
+        )
+
+    def execute(self, ctx):
+        """Delegate to :func:`faultsweep_resilience`."""
+        return faultsweep_resilience(ctx)
+
+
+#: The built-in strategies, in paper order — what the global
+#: :data:`repro.harness.strategy.registry` discovers from this module.
+STRATEGIES = (
+    Fig02Strategy,
+    Table2Strategy,
+    Fig07Strategy,
+    Fig08Strategy,
+    Fig09Strategy,
+    Fig10Strategy,
+    Fig11Strategy,
+    Fig12Strategy,
+    Fig13Strategy,
+    Fig14Strategy,
+    Table3Strategy,
+    HeadlineStrategy,
+    FaultsweepStrategy,
+)
 
 
 def experiment_names() -> list:
-    """All experiment names, in paper order."""
-    return list(EXPERIMENTS)
+    """All registered experiment names, in registry order.
+
+    Built-ins come first in paper (declaration) order, followed by any
+    ``repro.experiments`` entry-point plugins sorted by name — see
+    :class:`repro.harness.strategy.StrategyRegistry`.
+    """
+    from repro.harness.strategy import registry
+
+    return registry.names()

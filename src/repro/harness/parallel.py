@@ -57,44 +57,20 @@ log = get_logger("harness.parallel")
 def plan_specs(experiment_names: Sequence[str]) -> Tuple[List[ConfigSpec], List[ConfigSpec]]:
     """The (run specs, error specs) a set of experiments will request.
 
-    Mirrors the drivers in :mod:`repro.harness.experiments`: every
-    simulated experiment starts from the baseline LLC and sweeps the
-    configurations of its figure. Config-only experiments (fig13,
-    table3) and the snapshot analyses (fig02/07/08) need no
-    simulation prefetch.
+    Read straight off each registered strategy's ``requires`` metadata
+    (see :class:`repro.harness.strategy.Requirements`) — strategies
+    that need no simulation (config-only analyses, snapshot studies)
+    simply declare empty spec tuples. Deduped preserving first-seen
+    order, so the shared baseline simulates once across the sweep.
     """
-    from repro.harness.experiments import (
-        DATA_FRACTIONS,
-        MAP_BITS_SWEEP,
-        UNI_FRACTIONS,
-        faultsweep_specs,
-    )
-    from repro.harness.runner import baseline_spec, dopp_spec, uni_spec
+    from repro.harness.strategy import registry
 
     runs: List[ConfigSpec] = []
     errors: List[ConfigSpec] = []
     for name in experiment_names:
-        if name == "table2":
-            runs += [baseline_spec()]
-        elif name == "fig09":
-            sweep = [dopp_spec(b, 0.25) for b in MAP_BITS_SWEEP]
-            runs += [baseline_spec()] + sweep
-            errors += sweep
-        elif name in ("fig10", "fig11", "fig12"):
-            sweep = [dopp_spec(14, f) for f in DATA_FRACTIONS]
-            runs += [baseline_spec()] + sweep
-            if name == "fig10":
-                errors += sweep
-        elif name == "fig14":
-            sweep = [uni_spec(14, f) for f in UNI_FRACTIONS]
-            runs += [baseline_spec()] + sweep
-            errors += sweep
-        elif name == "headline":
-            runs += [baseline_spec(), dopp_spec(14, 0.25)]
-        elif name == "faultsweep":
-            sweep = faultsweep_specs()
-            runs += [baseline_spec()] + sweep
-            errors += sweep
+        requires = registry.get(name).requires
+        runs += list(requires.run_specs)
+        errors += list(requires.error_specs)
     # Dedupe, preserving first-seen order (dict keys are ordered).
     return list(dict.fromkeys(runs)), list(dict.fromkeys(errors))
 

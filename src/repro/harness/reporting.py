@@ -69,6 +69,7 @@ class Table:
                 widths[i] = max(widths[i], len(cell))
 
         def fmt_row(parts: Iterable[str]) -> str:
+            """Pad one row: first column left-aligned, the rest right."""
             out = []
             for i, part in enumerate(parts):
                 if i == 0:

@@ -438,6 +438,7 @@ class ExperimentContext:
         label = spec.label()
 
         def build():
+            """Assemble a fresh System around this spec's LLC."""
             llc = spec.build_llc(trace.regions, self.size_factor)
             injector = (
                 FaultInjector(spec.faults) if spec.faults is not None else None

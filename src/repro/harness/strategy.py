@@ -1,0 +1,723 @@
+"""Experiment strategies: the plugin API behind every harness run.
+
+Every experiment of the paper's evaluation — and every scenario added
+since — is an :class:`ExperimentStrategy`: a named object that
+declares what it needs (:class:`Requirements`), produces its tables in
+``execute()``, and is discovered through a :class:`StrategyRegistry`
+rather than hard-coded CLI branches. The harness machinery that used
+to be special-cased per experiment (``--jobs`` fan-splitting,
+checkpoint/resume journaling, retries, engine fallback, observability
+phases, history-store recording) lives once in :func:`run_strategies`
+and is driven purely by registry metadata, so a new experiment — in
+this package or a third-party distribution — is a ~100-line class, not
+a harness fork.
+
+Discovery has two sources, in a deterministic, documented order:
+
+1. **Built-ins** — the classes listed in each registered builtin
+   module's ``STRATEGIES`` tuple (paper/declaration order).
+2. **Entry points** — distributions advertising the
+   ``repro.experiments`` group, appended sorted by entry-point name.
+   A plugin that fails to import is skipped with a warning (a broken
+   third-party package must never take the CLI down), and an entry
+   point whose name collides with an already-registered strategy is
+   ignored (built-ins win).
+
+Writing a plugin (see ``docs/experiments.md`` for the full guide)::
+
+    from repro.harness.strategy import ExperimentStrategy, Requirements
+    from repro.harness.reporting import Table
+    from repro.harness.runner import baseline_spec, dopp_spec
+
+    class MySweep(ExperimentStrategy):
+        name = "mysweep"
+        description = "my custom design-point sweep"
+        requires = Requirements(
+            context=True,
+            run_specs=(baseline_spec(), dopp_spec(14, 0.25)),
+        )
+
+        def execute(self, ctx):
+            table = Table("My sweep", ["workload", "cycles"])
+            for name in ctx.names:
+                table.add_row(name, ctx.run(name, dopp_spec(14, 0.25)).cycles)
+            return {"": table}
+
+    # pyproject.toml of the plugin distribution:
+    # [project.entry-points."repro.experiments"]
+    # mysweep = "myplugin:MySweep"
+
+Once installed, ``repro experiments mysweep --jobs 2`` runs it with
+prefetching, checkpointing and history recording — no harness changes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import warnings
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from time import perf_counter_ns
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.errors import ConfigError, UnknownExperimentError
+from repro.harness.reporting import Table
+from repro.harness.runner import ConfigSpec, ExperimentContext
+from repro.obs import Observability
+
+#: Entry-point group third-party distributions register strategies in.
+ENTRY_POINT_GROUP = "repro.experiments"
+
+#: What ``execute`` returns: sub-table key -> Table (``""`` = main).
+Tables = Dict[str, Table]
+
+
+@dataclass(frozen=True)
+class Requirements:
+    """What a strategy needs from the harness, as inert metadata.
+
+    The generic driver (:func:`run_strategies`) and the parallel
+    prefetcher (:func:`repro.harness.parallel.plan_specs`) consume
+    this instead of switching on experiment names.
+
+    Attributes:
+        context: whether the strategy needs an
+            :class:`~repro.harness.runner.ExperimentContext` (workload
+            instances, traces, the memoized run pipeline). Config-only
+            analyses set this False and receive ``ctx=None``.
+        run_specs: the :class:`~repro.harness.runner.ConfigSpec` set
+            the strategy will simulate per workload — exactly what a
+            ``--jobs N`` prefetch fans across workers.
+        error_specs: the specs whose functional output error the
+            strategy will evaluate (also prefetched).
+        engines: engine names the strategy supports; the default is
+            every engine (both are bit-identical).
+    """
+
+    context: bool = True
+    run_specs: Tuple[ConfigSpec, ...] = ()
+    error_specs: Tuple[ConfigSpec, ...] = ()
+    engines: Tuple[str, ...] = ("batched", "reference")
+
+    def summary(self) -> str:
+        """One-cell human summary for the registry table."""
+        if not self.context:
+            return "config-only"
+        parts = ["context"]
+        if self.run_specs:
+            parts.append(f"{len(self.run_specs)} sim configs")
+        if self.error_specs:
+            parts.append(f"{len(self.error_specs)} error configs")
+        return ", ".join(parts)
+
+
+class ExperimentStrategy(ABC):
+    """Base class every experiment implements.
+
+    Lifecycle per invocation: ``setup(ctx)`` once, ``execute(ctx)``
+    once (returning the tables), ``teardown(ctx)`` always — even when
+    ``execute`` raised. ``ctx`` is the shared
+    :class:`~repro.harness.runner.ExperimentContext` (or ``None`` for
+    strategies whose :attr:`requires` declare ``context=False``).
+
+    Class attributes:
+        name: registry key, CLI name and JSON filename stem.
+        description: one line for ``repro experiments --list``.
+        requires: :class:`Requirements` metadata; override the class
+            attribute, or redefine it as a property when the spec list
+            is expensive to build.
+    """
+
+    name: str = ""
+    description: str = ""
+    requires: Requirements = Requirements()
+
+    def setup(self, ctx: Optional[ExperimentContext]) -> None:
+        """One-time preparation before :meth:`execute` (default no-op)."""
+
+    @abstractmethod
+    def execute(self, ctx: Optional[ExperimentContext]) -> Tables:
+        """Produce the experiment's tables.
+
+        Returns:
+            Mapping of sub-table key to
+            :class:`~repro.harness.reporting.Table`; single-table
+            strategies may also return the bare ``Table``.
+        """
+
+    def teardown(self, ctx: Optional[ExperimentContext]) -> None:
+        """Cleanup after :meth:`execute`, even on failure (default no-op)."""
+
+    def declare_metrics(self) -> Tuple[str, ...]:
+        """Custom metric names this strategy publishes while running.
+
+        The driver pre-registers each as a gauge named
+        ``experiment.<strategy>.<metric>`` in the run's metrics
+        registry (when observability is enabled), so strategies can
+        ``ctx.obs.registry.gauge(...)`` during :meth:`execute` and the
+        values land in ``--metrics-out`` snapshots.
+        """
+        return ()
+
+    def label(self) -> str:
+        """Display name (the registry key)."""
+        return self.name or type(self).__name__
+
+
+class StrategyRegistry:
+    """Discovers and resolves :class:`ExperimentStrategy` instances.
+
+    Iteration order is deterministic and documented: builtin modules'
+    ``STRATEGIES`` tuples in declaration order, then entry-point
+    strategies sorted by entry-point name. Lookups of unknown names
+    raise :class:`~repro.errors.UnknownExperimentError` (exit code 2
+    through the CLI), never a raw ``KeyError``.
+
+    Args:
+        builtin_modules: modules whose ``STRATEGIES`` tuple is
+            registered on first use.
+        entry_point_group: importlib.metadata group scanned for
+            third-party strategies (``None`` disables scanning).
+    """
+
+    def __init__(
+        self,
+        builtin_modules: Sequence[str] = (),
+        entry_point_group: Optional[str] = None,
+    ):
+        """Create an empty registry (see class docstring)."""
+        self._builtin_modules = tuple(builtin_modules)
+        self._entry_point_group = entry_point_group
+        self._strategies: Dict[str, ExperimentStrategy] = {}
+        self._discovered = False
+
+    # ---------------------------------------------------------- registration
+
+    def register(self, strategy):
+        """Register a strategy class or instance; usable as a decorator.
+
+        Returns the argument unchanged so ``@registry.register`` works
+        on class definitions. Raises
+        :class:`~repro.errors.ConfigError` on an empty or duplicate
+        name.
+        """
+        instance = strategy() if isinstance(strategy, type) else strategy
+        if not isinstance(instance, ExperimentStrategy):
+            raise ConfigError(
+                f"{strategy!r} is not an ExperimentStrategy subclass or "
+                "instance",
+                field="strategy",
+            )
+        name = instance.name
+        if not name:
+            raise ConfigError(
+                f"strategy {type(instance).__name__} has no name",
+                field="strategy.name",
+            )
+        if name in self._strategies:
+            raise ConfigError(
+                f"experiment {name!r} is already registered",
+                field="strategy.name",
+            )
+        self._strategies[name] = instance
+        return strategy
+
+    def unregister(self, name: str) -> None:
+        """Remove one strategy (primarily for tests)."""
+        self._strategies.pop(name, None)
+
+    def _discover(self) -> None:
+        """Load built-ins, then entry points (idempotent)."""
+        if self._discovered:
+            return
+        self._discovered = True
+        import importlib
+
+        for module_name in self._builtin_modules:
+            module = importlib.import_module(module_name)
+            for cls in getattr(module, "STRATEGIES", ()):
+                self.register(cls)
+        if self._entry_point_group:
+            self._discover_entry_points()
+
+    def _discover_entry_points(self) -> None:
+        """Append entry-point strategies, sorted by entry-point name.
+
+        A plugin that fails to load — or whose name collides with an
+        already-registered strategy — is skipped with a warning; a
+        broken third-party distribution must never break the harness.
+        """
+        from importlib import metadata
+
+        try:
+            points = metadata.entry_points(group=self._entry_point_group)
+        except TypeError:  # Python 3.9: entry_points() returns a dict
+            points = metadata.entry_points().get(self._entry_point_group, ())
+        for point in sorted(points, key=lambda p: p.name):
+            try:
+                loaded = point.load()
+                instance = loaded() if isinstance(loaded, type) else loaded
+            except Exception as exc:
+                warnings.warn(
+                    f"experiment plugin {point.name!r} "
+                    f"({point.value}) failed to load: {exc!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if not isinstance(instance, ExperimentStrategy):
+                warnings.warn(
+                    f"experiment plugin {point.name!r} ({point.value}) is "
+                    "not an ExperimentStrategy; skipped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if instance.name in self._strategies:
+                warnings.warn(
+                    f"experiment plugin {point.name!r} shadows registered "
+                    f"experiment {instance.name!r}; skipped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            self._strategies[instance.name] = instance
+
+    # --------------------------------------------------------------- lookups
+
+    def get(self, name: str) -> ExperimentStrategy:
+        """The strategy registered as ``name``.
+
+        Raises:
+            UnknownExperimentError: no such experiment (the error lists
+                every known name; exit code 2 through the CLI).
+        """
+        self._discover()
+        try:
+            return self._strategies[name]
+        except KeyError:
+            raise UnknownExperimentError(name, self.names()) from None
+
+    def resolve(self, item) -> ExperimentStrategy:
+        """Coerce a name, class or instance into a strategy instance."""
+        if isinstance(item, str):
+            return self.get(item)
+        if isinstance(item, type) and issubclass(item, ExperimentStrategy):
+            return item()
+        if isinstance(item, ExperimentStrategy):
+            return item
+        raise ConfigError(
+            f"expected an experiment name or ExperimentStrategy, got "
+            f"{type(item).__name__}",
+            field="experiment",
+        )
+
+    def names(self) -> List[str]:
+        """Every registered name, in documented deterministic order."""
+        self._discover()
+        return list(self._strategies)
+
+    def __contains__(self, name: str) -> bool:
+        self._discover()
+        return name in self._strategies
+
+    def __iter__(self) -> Iterator[ExperimentStrategy]:
+        self._discover()
+        return iter(self._strategies.values())
+
+    def __len__(self) -> int:
+        self._discover()
+        return len(self._strategies)
+
+    def table(self) -> Table:
+        """The registry rendered as the shared plain-text Table."""
+        table = Table(
+            "Registered experiments",
+            ["name", "description", "requirements"],
+        )
+        for strategy in self:
+            table.add_row(
+                strategy.name,
+                strategy.description or type(strategy).__name__,
+                strategy.requires.summary(),
+            )
+        table.add_note(
+            "built-ins in declaration (paper) order, then "
+            f"{ENTRY_POINT_GROUP!r} entry points sorted by name"
+        )
+        return table
+
+
+#: The process-wide registry: built-in paper experiments plus
+#: ``repro.experiments`` entry points.
+registry = StrategyRegistry(
+    builtin_modules=("repro.harness.experiments",),
+    entry_point_group=ENTRY_POINT_GROUP,
+)
+
+
+def experiment_names() -> List[str]:
+    """Every registered experiment name, in registry order."""
+    return registry.names()
+
+
+# ------------------------------------------------------------------- driver
+
+
+@dataclass
+class StrategyOutcome:
+    """One executed strategy: its tables and wall time."""
+
+    name: str
+    tables: Tables
+    wall_s: float
+
+
+@dataclass
+class StrategyRunResult:
+    """What :func:`run_strategies` hands back to its caller."""
+
+    #: Per-strategy outcome, in execution order.
+    outcomes: List[StrategyOutcome] = field(default_factory=list)
+    #: The shared context (None when no strategy required one).
+    ctx: Optional[ExperimentContext] = None
+
+    @property
+    def tables(self) -> Dict[str, Tables]:
+        """Strategy name -> its tables."""
+        return {o.name: o.tables for o in self.outcomes}
+
+    @property
+    def walls(self) -> Dict[str, float]:
+        """Strategy name -> wall seconds."""
+        return {o.name: o.wall_s for o in self.outcomes}
+
+
+def _normalize_tables(name: str, result) -> Tables:
+    """Coerce an ``execute`` return value into ``{key: Table}``."""
+    if isinstance(result, Table):
+        return {"": result}
+    if isinstance(result, dict):
+        return result
+    raise ConfigError(
+        f"experiment {name!r} returned {type(result).__name__}; expected a "
+        "Table or a dict of Tables",
+        field="experiment",
+    )
+
+
+def _cpu_seconds(start) -> float:
+    """CPU seconds (self + children) since an ``os.times()`` snapshot."""
+    end = os.times()
+    return sum(end[:4]) - sum(start[:4])
+
+
+def _plan_from(strategies: Sequence[ExperimentStrategy]):
+    """Union of the strategies' spec requirements, first-seen order."""
+    runs = [s for strat in strategies for s in strat.requires.run_specs]
+    errors = [s for strat in strategies for s in strat.requires.error_specs]
+    return list(dict.fromkeys(runs)), list(dict.fromkeys(errors))
+
+
+def _start_history_run(store_path, argv, names, options) -> tuple:
+    """Open the history store and insert this invocation's run row.
+
+    Returns ``(store, run_id)``, or ``(None, None)`` when the store
+    cannot be opened — the harness never fails because telemetry did,
+    but the warning names the path so a deliberate store choice points
+    somewhere debuggable.
+    """
+    from repro.obs.store import (
+        RunStore,
+        config_digest,
+        default_store_path,
+        git_sha,
+    )
+
+    path = store_path or default_store_path(options.get("json_dir") or None)
+    faults = options.get("faults")
+    try:
+        store = RunStore(path)
+        run_id = store.start_run(
+            experiments=names,
+            workloads=options.get("workloads"),
+            engine=options.get("engine") or "batched",
+            seed=options.get("seed"),
+            scale=options.get("scale"),
+            jobs=options.get("jobs", 1),
+            argv=list(argv or []),
+            sha=git_sha(),
+            config_hash=config_digest(
+                {
+                    "experiments": list(names),
+                    "seed": options.get("seed"),
+                    "scale": options.get("scale"),
+                    "workloads": options.get("workloads"),
+                    "engine": options.get("engine"),
+                    "faults": faults.to_dict() if faults is not None else None,
+                }
+            ),
+        )
+    except Exception as exc:
+        print(f"[history store {path} unavailable: {exc}]", file=sys.stderr)
+        return None, None
+    return store, run_id
+
+
+def _record_history_run(
+    store, run_id, ctx, progress, *, wall_s, cpu_s, experiments, echo
+):
+    """Land results, heartbeats and final timings in the history store."""
+    try:
+        if ctx is not None:
+            records = ctx.run_records()
+            for row in ctx.run_summaries():
+                store.add_result(
+                    run_id,
+                    row,
+                    records.get((row["workload"], row["config"])),
+                )
+        if progress is not None:
+            store.add_events(run_id, progress.events_for_store())
+        store.finish_run(
+            run_id,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            experiments=experiments,
+            context=ctx.context_summary() if ctx is not None else None,
+        )
+        if echo:
+            echo(f"[run {run_id} recorded in {store.path}]")
+    finally:
+        store.close()
+
+
+def _execute_one(
+    strategy: ExperimentStrategy,
+    ctx: Optional[ExperimentContext],
+    obs: Observability,
+    *,
+    out: Optional[str],
+    json_dir: Optional[str],
+    echo: Optional[Callable[[str], None]],
+) -> StrategyOutcome:
+    """Run one strategy's lifecycle; print, save and serialize tables."""
+    name = strategy.label()
+    if obs.enabled:
+        for metric in strategy.declare_metrics():
+            obs.registry.gauge(f"experiment.{name}.{metric}")
+    start_ns = perf_counter_ns()
+    with obs.profiler.phase(f"experiment/{name}"):
+        strategy.setup(ctx if strategy.requires.context else None)
+        try:
+            result = strategy.execute(ctx if strategy.requires.context else None)
+        finally:
+            strategy.teardown(ctx if strategy.requires.context else None)
+    tables = _normalize_tables(name, result)
+    for key, table in tables.items():
+        if echo:
+            echo("")
+            echo(table.render())
+        if out:
+            filename = f"{name}_{key}.txt" if key else f"{name}.txt"
+            table.save(directory=out, filename=filename)
+    wall_s = (perf_counter_ns() - start_ns) / 1e9
+    if json_dir:
+        from repro.obs.output import save_experiment_json, update_bench_summary
+
+        save_experiment_json(name, tables, json_dir)
+        update_bench_summary(
+            json_dir,
+            experiments={
+                name: {"wall_s": wall_s, "tables": [k or "main" for k in tables]}
+            },
+        )
+    if echo:
+        echo(f"\n[{name} done in {wall_s:.1f}s]")
+    return StrategyOutcome(name=name, tables=tables, wall_s=wall_s)
+
+
+def run_strategies(
+    experiments: Sequence[Union[str, ExperimentStrategy]],
+    *,
+    strategy_registry: Optional[StrategyRegistry] = None,
+    ctx: Optional[ExperimentContext] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    workloads: Optional[Sequence[str]] = None,
+    engine: Optional[str] = None,
+    faults=None,
+    jobs: int = 1,
+    split_fans: bool = True,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    obs: Optional[Observability] = None,
+    progress=None,
+    out: Optional[str] = None,
+    json_dir: Optional[str] = None,
+    echo: Optional[Callable[[str], None]] = None,
+    store_path: Optional[str] = None,
+    record_history: bool = False,
+    argv: Optional[Sequence[str]] = None,
+) -> StrategyRunResult:
+    """Run a batch of strategies through the one generic pipeline.
+
+    This is the driver both the CLI and :func:`repro.run_experiment`
+    dispatch through. Everything that used to be per-experiment
+    special-casing is here once, keyed on registry metadata:
+
+    * **context** — built only when some strategy requires one;
+    * **prefetch** — with ``jobs > 1``, the union of the strategies'
+      ``requires.run_specs`` / ``error_specs`` fans across a process
+      pool (config fans split across idle workers unless
+      ``split_fans=False``), with ``timeout``/``retries`` resilience;
+    * **checkpointing** — ``checkpoint_dir`` journals every completed
+      (workload, config); ``resume`` loads finished pairs first;
+    * **observability** — each strategy runs in its own profiler
+      phase, and declared metrics are pre-registered;
+    * **history** — with ``record_history``, the invocation lands in
+      the sqlite run store exactly as the CLI records it.
+
+    Args:
+        experiments: registered names and/or strategy instances, in
+            execution order.
+        strategy_registry: registry names resolve against (the global
+            :data:`registry` by default).
+        ctx: reuse an existing context; otherwise one is built from
+            ``seed`` / ``scale`` / ``workloads`` / ``engine`` /
+            ``faults`` when any strategy requires it.
+        progress: optional
+            :class:`~repro.obs.livestream.LiveProgressSink` receiving
+            worker heartbeats during the prefetch.
+        out: directory for plain-text table files (None = don't save).
+        json_dir: directory for ``<name>.json`` tables and the
+            ``BENCH_obs.json`` summary (None = no JSON output).
+        echo: line printer for human output (``print`` on the CLI);
+            None keeps the run silent, as library callers expect.
+        store_path: history database path (None = the default store
+            resolution) — only consulted when ``record_history``.
+        argv: CLI argv recorded alongside the history run.
+
+    Returns:
+        :class:`StrategyRunResult` with per-strategy tables/wall times
+        and the shared context.
+
+    Raises:
+        UnknownExperimentError: an experiment name is not registered.
+        SimulationFault: the parallel prefetch exhausted its retries.
+    """
+    reg = strategy_registry if strategy_registry is not None else registry
+    resolved = [reg.resolve(item) for item in experiments]
+    obs = obs or Observability.disabled()
+    start_ns = perf_counter_ns()
+    cpu_start = os.times()
+    names = [s.label() for s in resolved]
+    store = run_id = None
+    if record_history:
+        store, run_id = _start_history_run(
+            store_path,
+            argv,
+            names,
+            {
+                "json_dir": json_dir,
+                "workloads": list(workloads) if workloads else None,
+                "engine": engine,
+                "seed": seed,
+                "scale": scale,
+                "jobs": jobs,
+                "faults": faults,
+            },
+        )
+
+    if ctx is None and any(s.requires.context for s in resolved):
+        ctx = ExperimentContext(
+            seed=seed,
+            scale=scale,
+            workloads=workloads,
+            obs=obs,
+            engine=engine,
+            faults=faults,
+        )
+    journal = None
+    if checkpoint_dir and ctx is not None:
+        from repro.resilience.checkpoint import open_journal
+
+        journal = open_journal(checkpoint_dir, ctx)
+        if resume:
+            runs, errors = journal.load_into(ctx)
+            if echo:
+                echo(
+                    f"[resumed {runs} runs and {errors} errors from "
+                    f"{checkpoint_dir}]"
+                )
+    if jobs > 1 and ctx is not None:
+        run_specs, error_specs = _plan_from(resolved)
+        if run_specs or error_specs:
+            from repro.harness.parallel import prefetch_runs
+
+            if obs.enabled and echo:
+                echo(
+                    "[note: --jobs simulates in worker processes; per-access "
+                    "traces/metrics are not captured for prefetched runs]"
+                )
+            fetched = prefetch_runs(
+                ctx,
+                [],
+                jobs,
+                run_specs=run_specs,
+                error_specs=error_specs,
+                timeout=timeout,
+                retries=retries,
+                journal=journal,
+                split_fans=split_fans,
+                progress=progress,
+            )
+            if progress is not None and echo:
+                beat = progress.summary()
+                echo(
+                    f"[progress: {beat['heartbeats']} heartbeats from "
+                    f"{beat['units']} work units]"
+                )
+            if fetched and echo:
+                echo(f"[prefetched {fetched} runs across {jobs} jobs]")
+
+    result = StrategyRunResult(ctx=ctx)
+    for strategy in resolved:
+        result.outcomes.append(
+            _execute_one(
+                strategy, ctx, obs, out=out, json_dir=json_dir, echo=echo
+            )
+        )
+
+    if ctx is not None and json_dir:
+        from repro.obs.output import update_bench_summary
+
+        update_bench_summary(
+            json_dir,
+            runs=ctx.run_summaries(),
+            context=ctx.context_summary(),
+        )
+    if store is not None:
+        _record_history_run(
+            store,
+            run_id,
+            ctx,
+            progress,
+            wall_s=(perf_counter_ns() - start_ns) / 1e9,
+            cpu_s=_cpu_seconds(cpu_start),
+            experiments={o.name: {"wall_s": o.wall_s} for o in result.outcomes},
+            echo=echo,
+        )
+    return result

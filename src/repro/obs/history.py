@@ -195,7 +195,9 @@ def _cmd_query(store: RunStore, args) -> int:
         import csv
         import sys
 
-        writer = csv.writer(sys.stdout)
+        # The csv default terminator is \r\n, which trips shell
+        # comparisons on the captured output ("2\r" is not an integer).
+        writer = csv.writer(sys.stdout, lineterminator="\n")
         if args.header:
             writer.writerow(headers)
         writer.writerows(rows)

@@ -107,20 +107,23 @@ class TestLazyExports:
         assert repro.baseline_spec is baseline_spec
 
 
-class TestDeprecationShim:
-    def test_old_cli_entry_still_works(self, tmp_path, capsys):
-        from repro.cli import run_experiment
+class TestShimRetired:
+    def test_cli_run_experiment_shim_is_gone(self):
+        # The PR-2 deprecation shim completed its cycle; the supported
+        # entry point is repro.run_experiment.
+        import repro.cli as cli
 
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            wall = run_experiment("table3", None, None, json_dir=str(tmp_path))
-        assert any(
-            issubclass(w.category, DeprecationWarning) for w in caught
-        )
-        # Old contract: prints the table, returns the wall time.
-        assert isinstance(wall, float)
-        assert "hardware cost" in capsys.readouterr().out
-        assert os.path.exists(tmp_path / "table3.json")
+        assert not hasattr(cli, "run_experiment")
+        assert "run_experiment" not in cli.__all__
+
+    def test_typed_unknown_error(self):
+        from repro.errors import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError) as excinfo:
+            repro.run_experiment("fig99")
+        assert excinfo.value.exit_code == 2
+        assert "fig99" in str(excinfo.value)
+        assert "table2" in excinfo.value.known
 
     def test_new_cli_path_does_not_warn(self, tmp_path, capsys):
         from repro.cli import main

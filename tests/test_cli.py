@@ -14,9 +14,24 @@ class TestCLI:
         for name in ("fig02", "fig13", "table3", "headline"):
             assert name in out
 
-    def test_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            main(["fig99"])
+    def test_unknown_experiment(self, capsys):
+        # Typed UnknownExperimentError, mapped to the config exit code.
+        assert main(["fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "fig99" in err
+
+    def test_unknown_experiment_in_sweep(self, capsys):
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_listing(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered experiments" in out
+        for name in ("fig02", "table3", "faultsweep"):
+            assert name in out
+        assert "config-only" in out
 
     def test_config_only_experiment(self, capsys):
         assert main(["table3"]) == 0
