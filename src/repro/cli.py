@@ -48,6 +48,8 @@ Resilience (see ``docs/robustness.md``)::
     python -m repro.cli experiments --jobs 4 --timeout 900 --retries 2 \
         --checkpoint-dir ckpt/
     python -m repro.cli experiments --jobs 4 --checkpoint-dir ckpt/ --resume
+    python -m repro.cli frontier --error-budget 0.05 --voltage-steps 8 \
+        --jobs 4 --checkpoint-dir ckpt/
     python -m repro.cli replay results/trace.npz
 
 Typed failures map to distinct exit codes — 2 for configuration
@@ -423,6 +425,23 @@ def _common_options() -> argparse.ArgumentParser:
         help="load completed results from --checkpoint-dir before "
         "simulating (skips finished pairs; byte-identical output)",
     )
+    frontier = common.add_argument_group(
+        "frontier", "closed-loop error-budget search (docs/robustness.md)"
+    )
+    frontier.add_argument(
+        "--error-budget",
+        type=float,
+        default=None,
+        help="frontier experiment: maximum acceptable output error per "
+        "workload (default 0.1)",
+    )
+    frontier.add_argument(
+        "--voltage-steps",
+        type=int,
+        default=None,
+        help="frontier experiment: voltage-ladder length, nominal plus "
+        "scaled steps (default 8)",
+    )
     faults = common.add_argument_group(
         "fault injection", "deterministic seeded faults (docs/robustness.md)"
     )
@@ -682,6 +701,17 @@ def _run_pipeline(parser, args, names, argv) -> int:
         parser.error(f"--retries must be >= 0, got {args.retries}")
     if args.resume and not args.checkpoint_dir:
         parser.error("--resume requires --checkpoint-dir")
+    # Strategy-specific knobs travel as an options mapping — validated
+    # by the consuming strategy (FrontierOptions names the offending
+    # field on a bad value), not by per-experiment CLI branches.
+    strategy_options = {
+        key: value
+        for key, value in (
+            ("error_budget", args.error_budget),
+            ("voltage_steps", args.voltage_steps),
+        )
+        if value is not None
+    }
     if args.workloads:
         from repro.workloads.registry import workload_names
 
@@ -740,6 +770,7 @@ def _run_pipeline(parser, args, names, argv) -> int:
         store_path=args.store,
         record_history=not args.no_store,
         argv=argv,
+        strategy_options=strategy_options,
     )
 
     if enabled:

@@ -356,6 +356,75 @@ def prefetch_runs(
     return fetched
 
 
+def prefetch_pairs(
+    ctx: ExperimentContext,
+    run_pairs: Sequence[Tuple[str, ConfigSpec]] = (),
+    error_pairs: Sequence[Tuple[str, ConfigSpec]] = (),
+    jobs: int = 1,
+    *,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 1.0,
+    journal=None,
+) -> int:
+    """Fan explicit (workload, spec) pairs across worker processes.
+
+    :func:`prefetch_runs` fans a *cartesian* plan — every workload
+    under every spec. Adaptive strategies (the frontier controller's
+    per-workload searches) need the transpose: each workload probes
+    its own spec this round. This entry point takes the explicit pair
+    lists, groups them into one task per workload and reuses the same
+    retry/backoff/journal machinery, so independent searches advance
+    in parallel with the full crash tolerance of the generic prefetch.
+
+    Pairs already memoized in ``ctx`` are skipped; fault configs are
+    resolved through :meth:`ExperimentContext.apply_faults` first so
+    worker and parent memo keys agree. Returns the number of
+    simulations fetched.
+
+    Raises:
+        SimulationFault: a task still failing after every retry.
+    """
+    needs: Dict[str, Tuple[List[ConfigSpec], List[ConfigSpec]]] = {}
+
+    def _need(name: str, spec: ConfigSpec, side: int, memo: dict) -> None:
+        """Queue one unmemoized (workload, spec) pair for its task."""
+        spec = ctx.apply_faults(spec)
+        bucket = needs.setdefault(name, ([], []))[side]
+        if (name, spec) not in memo and spec not in bucket:
+            bucket.append(spec)
+
+    for name, spec in run_pairs:
+        _need(name, spec, 0, ctx._runs)
+    for name, spec in error_pairs:
+        if spec.kind != "baseline":  # baseline error is 0 by definition
+            _need(name, spec, 1, ctx._errors)
+    tasks = []
+    for name in ctx.names:
+        run_specs, error_specs = needs.get(name, ((), ()))
+        if run_specs or error_specs:
+            tasks.append(
+                {
+                    "workload": name,
+                    "seed": ctx.seed,
+                    "scale": ctx.scale,
+                    "engine": ctx.engine,
+                    "run_specs": list(run_specs),
+                    "error_specs": list(error_specs),
+                    "unit": name,
+                }
+            )
+    if not tasks:
+        return 0
+    workers = max(1, min(int(jobs), len(tasks)))
+    log.info(
+        "prefetching %d pair tasks across %d workers", len(tasks), workers
+    )
+    return _prefetch_rounds(
+        ctx, tasks, workers, timeout, retries, backoff, journal
+    )
+
+
 def _prefetch_rounds(
     ctx: ExperimentContext,
     tasks: List[dict],

@@ -379,6 +379,22 @@ class ExperimentContext:
         self._errors: Dict[Tuple[str, ConfigSpec], float] = {}
         self._precise_outputs: Dict[str, object] = {}
         self.energy_model = EnergyModel()
+        #: Harness execution knobs the generic driver
+        #: (:func:`repro.harness.strategy.run_strategies`) publishes so
+        #: strategies that orchestrate their own fan-out (e.g. the
+        #: frontier search) reuse them. Defaults describe a
+        #: sequential, checkpoint-free, option-free run.
+        self.jobs = 1
+        self.timeout: Optional[float] = None
+        self.retries = 0
+        self.journal = None
+        self.checkpoint_dir: Optional[str] = None
+        self.strategy_options: Dict[str, object] = {}
+        #: Event dicts (each with a ``kind``) strategies queue for the
+        #: run-history store — how controller decisions become
+        #: queryable ``repro history`` rows even when live tracing is
+        #: disabled. Flushed by the driver after the strategies run.
+        self.pending_events: List[dict] = []
 
     # -------------------------------------------------------------- builders
 

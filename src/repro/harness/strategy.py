@@ -361,7 +361,7 @@ class StrategyRegistry:
 #: The process-wide registry: built-in paper experiments plus
 #: ``repro.experiments`` entry points.
 registry = StrategyRegistry(
-    builtin_modules=("repro.harness.experiments",),
+    builtin_modules=("repro.harness.experiments", "repro.harness.frontier"),
     entry_point_group=ENTRY_POINT_GROUP,
 )
 
@@ -489,6 +489,8 @@ def _record_history_run(
                 )
         if progress is not None:
             store.add_events(run_id, progress.events_for_store())
+        if ctx is not None and getattr(ctx, "pending_events", None):
+            store.add_events(run_id, ctx.pending_events)
         store.finish_run(
             run_id,
             wall_s=wall_s,
@@ -571,6 +573,7 @@ def run_strategies(
     store_path: Optional[str] = None,
     record_history: bool = False,
     argv: Optional[Sequence[str]] = None,
+    strategy_options: Optional[dict] = None,
 ) -> StrategyRunResult:
     """Run a batch of strategies through the one generic pipeline.
 
@@ -609,6 +612,10 @@ def run_strategies(
         store_path: history database path (None = the default store
             resolution) — only consulted when ``record_history``.
         argv: CLI argv recorded alongside the history run.
+        strategy_options: free-form options mapping published on the
+            context as ``ctx.strategy_options`` — how strategy-specific
+            CLI knobs (``--error-budget``, ``--voltage-steps``) reach
+            the strategies without per-experiment driver branches.
 
     Returns:
         :class:`StrategyRunResult` with per-strategy tables/wall times
@@ -662,6 +669,16 @@ def run_strategies(
                     f"[resumed {runs} runs and {errors} errors from "
                     f"{checkpoint_dir}]"
                 )
+    if ctx is not None:
+        # Publish the harness execution knobs so strategies that
+        # orchestrate their own fan-out (e.g. frontier's adaptive
+        # search) reuse the same jobs/journal/resilience settings.
+        ctx.jobs = jobs
+        ctx.timeout = timeout
+        ctx.retries = retries
+        ctx.journal = journal
+        ctx.checkpoint_dir = checkpoint_dir
+        ctx.strategy_options = dict(strategy_options or {})
     if jobs > 1 and ctx is not None:
         run_specs, error_specs = _plan_from(resolved)
         if run_specs or error_specs:

@@ -31,6 +31,9 @@ from repro.obs.context import Observability
 from repro.obs.events import (
     EVENT_BACK_INVALIDATION,
     EVENT_COHERENCE_INVALIDATION,
+    EVENT_CONTROLLER_CONVERGED,
+    EVENT_CONTROLLER_DEGRADE,
+    EVENT_CONTROLLER_STEP,
     EVENT_DATA_EVICTION,
     EVENT_ENGINE_FALLBACK,
     EVENT_FAULT_INJECTED,
@@ -81,6 +84,9 @@ __all__ = [
     "EVENT_FAULT_INJECTED",
     "EVENT_ENGINE_FALLBACK",
     "EVENT_WORKER_RETRY",
+    "EVENT_CONTROLLER_STEP",
+    "EVENT_CONTROLLER_DEGRADE",
+    "EVENT_CONTROLLER_CONVERGED",
     "Counter",
     "Gauge",
     "Histogram",

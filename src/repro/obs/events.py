@@ -17,14 +17,24 @@ kind                      payload fields
 ``fault_injected``        ``site``, ``addr``, ``detected`` (resilience layer)
 ``engine_fallback``       ``engine``, ``error``, ``workload``, ``config``
 ``worker_retry``          ``workload``, ``attempt``, ``delay_s``, ``error``
+``controller_step``       ``workload``, ``step``, ``vdd``, ``error``, ``verdict``
+``controller_degrade``    ``workload``, ``action``, ``step``, ``error``
+``controller_converged``  ``workload``, ``frontier``, ``survivable_rate``
 ========================  =====================================================
 
-The last three come from the resilience layer (``docs/robustness.md``):
+The later kinds come from the resilience layer (``docs/robustness.md``):
 ``fault_injected`` marks one injected fault (``detected`` tells an
 ECC-detected refetch from a silent approximate-array corruption),
 ``engine_fallback`` records a batched-engine failure that degraded to
 the reference interpreter, and ``worker_retry`` records a parallel
-worker being retried after a crash or timeout.
+worker being retried after a crash or timeout. The ``controller_*``
+kinds trace the error-budget controller's frontier search
+(:mod:`repro.resilience.controller`): one ``controller_step`` per
+evaluated voltage step with its within/over verdict and bracket, a
+``controller_degrade`` whenever a blown budget steps the voltage back
+up (``action="raise_voltage"``) or abandons approximation entirely
+(``action="precise_fallback"``), and one ``controller_converged`` per
+workload with the final frontier and operating point.
 
 A :class:`Tracer` fans each event out to its sinks. With no sinks
 attached ``tracer.enabled`` is False and instrumented code skips the
@@ -52,6 +62,9 @@ EVENT_PHASE = "phase"
 EVENT_FAULT_INJECTED = "fault_injected"
 EVENT_ENGINE_FALLBACK = "engine_fallback"
 EVENT_WORKER_RETRY = "worker_retry"
+EVENT_CONTROLLER_STEP = "controller_step"
+EVENT_CONTROLLER_DEGRADE = "controller_degrade"
+EVENT_CONTROLLER_CONVERGED = "controller_converged"
 
 #: Every kind an instrumented structure may emit (docs + validation).
 EVENT_KINDS = (
@@ -66,6 +79,9 @@ EVENT_KINDS = (
     EVENT_FAULT_INJECTED,
     EVENT_ENGINE_FALLBACK,
     EVENT_WORKER_RETRY,
+    EVENT_CONTROLLER_STEP,
+    EVENT_CONTROLLER_DEGRADE,
+    EVENT_CONTROLLER_CONVERGED,
 )
 
 

@@ -1,10 +1,17 @@
-"""Resilience layer: fault injection, checkpoint/resume, typed errors.
+"""Resilience layer: faults, energy frontier, checkpoint/resume, errors.
 
-Three pillars (see ``docs/robustness.md``):
+Five pillars (see ``docs/robustness.md``):
 
 * :mod:`repro.resilience.faults` — a deterministic, seeded
   fault-injection engine (bit flips, bursts, stuck-at cells) for the
   approximate data array, the conventional LLC and DRAM;
+* :mod:`repro.resilience.energy` — the SRAM voltage-scaling model
+  mapping supply-voltage steps onto fault rates and energy credits
+  (the physical story behind the ``frontier`` experiment);
+* :mod:`repro.resilience.controller` — the closed-loop
+  :class:`ErrorBudgetController` searching the voltage ladder for the
+  max survivable fault rate within a declared error budget, with
+  graceful degradation and mid-bracket checkpoint/resume;
 * :mod:`repro.resilience.checkpoint` — a crash-tolerant journal of
   completed (workload, config) results so killed sweeps resume
   byte-identically (``--resume``);
@@ -14,6 +21,17 @@ Three pillars (see ``docs/robustness.md``):
 
 from repro.errors import ConfigError, ReproError, SimulationFault, TraceFormatError
 from repro.resilience.checkpoint import SweepJournal, context_fingerprint, open_journal
+from repro.resilience.controller import (
+    ErrorBudgetController,
+    FrontierOptions,
+    FrontierResult,
+    controller_state_dir,
+)
+from repro.resilience.energy import (
+    VoltageStep,
+    energy_saved_fraction,
+    voltage_ladder,
+)
 from repro.resilience.faults import (
     FAULT_TARGETS,
     TARGET_APPROX_DATA,
@@ -30,6 +48,13 @@ __all__ = [
     "TARGET_APPROX_DATA",
     "TARGET_DRAM",
     "TARGET_LLC",
+    "VoltageStep",
+    "voltage_ladder",
+    "energy_saved_fraction",
+    "ErrorBudgetController",
+    "FrontierOptions",
+    "FrontierResult",
+    "controller_state_dir",
     "SweepJournal",
     "context_fingerprint",
     "open_journal",

@@ -167,6 +167,67 @@ class FaultConfig:
             "targets": list(self.targets),
         }
 
+    #: Field -> scalar type of the :meth:`to_dict` schema (``targets``
+    #: is handled separately — it is a sequence of target names).
+    _SCALAR_FIELDS = {
+        "seed": int,
+        "read_rate": float,
+        "flip_bits": int,
+        "burst_rate": float,
+        "burst_len": int,
+        "stuck_bits": int,
+    }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        """Rebuild a config from its :meth:`to_dict` form.
+
+        The exact round-trip counterpart controller checkpoints,
+        history-store provenance rows and BENCH JSON reconstruct
+        configs through: ``FaultConfig.from_dict(cfg.to_dict()) ==
+        cfg`` for every valid config. Missing fields take their
+        defaults; unknown fields, wrong types and out-of-range values
+        raise :class:`~repro.errors.ConfigError` naming the offending
+        field (range checks come from ``__post_init__``).
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"expected a fault-config mapping, got "
+                f"{type(data).__name__}",
+                field="faults",
+            )
+        unknown = sorted(
+            k for k in data if k not in cls._SCALAR_FIELDS and k != "targets"
+        )
+        if unknown:
+            raise ConfigError(
+                f"unknown fault config field(s) {unknown}; expected "
+                f"{sorted([*cls._SCALAR_FIELDS, 'targets'])}",
+                field=unknown[0],
+            )
+        kwargs = {}
+        for name, cast in cls._SCALAR_FIELDS.items():
+            if name not in data:
+                continue
+            value = data[name]
+            try:
+                kwargs[name] = cast(value)
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    f"expected {cast.__name__}, got {value!r}", field=name
+                ) from None
+        if "targets" in data:
+            targets = data["targets"]
+            if isinstance(targets, str) or not isinstance(
+                targets, (list, tuple)
+            ):
+                raise ConfigError(
+                    f"expected a list of target names, got {targets!r}",
+                    field="targets",
+                )
+            kwargs["targets"] = tuple(targets)
+        return cls(**kwargs)
+
 
 @dataclass
 class SiteStats:

@@ -53,5 +53,6 @@ class TestCLI:
 
     def test_names_cover_all_figures(self):
         names = experiment_names()
-        assert len(names) == 13
+        assert len(names) == 14
         assert "faultsweep" in names
+        assert "frontier" in names
