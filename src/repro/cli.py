@@ -64,6 +64,15 @@ updates the cumulative ``results/json/BENCH_obs.json`` run summary;
 ``report`` renders that summary back as text and ``compare`` diffs two
 summaries, exiting 1 on a regression.
 
+Simulation-as-a-service (see ``docs/serving.md``)::
+
+    python -m repro.cli serve --workers 2          # run the job daemon
+    python -m repro.cli submit table2 --scale 0.25 --wait
+    python -m repro.cli jobs --state running
+    python -m repro.cli watch <job-id>             # live SSE event tail
+
+``--version`` (or ``-V``) prints the package version and exits.
+
 Third-party strategies installed under the ``repro.experiments`` entry
 point appear in ``list`` and run exactly like the built-ins — see
 ``docs/experiments.md``.
@@ -361,6 +370,13 @@ def _main_ingest(argv) -> int:
     return 0
 
 
+def _package_version() -> str:
+    """The package version (``--version`` / ``repro -V``)."""
+    from repro import __version__
+
+    return __version__
+
+
 def _common_options() -> argparse.ArgumentParser:
     """The flag set shared by every experiment-running form.
 
@@ -370,6 +386,13 @@ def _common_options() -> argparse.ArgumentParser:
     the two can never drift apart.
     """
     common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--version",
+        "-V",
+        action="version",
+        version=f"repro {_package_version()}",
+        help="print the package version and exit",
+    )
     common.add_argument("--seed", type=int, default=None, help="data seed (default 7)")
     common.add_argument(
         "--scale", type=float, default=None, help="dataset scale (default 1.0)"
@@ -632,6 +655,27 @@ def main(argv=None) -> int:
 
 def _dispatch(argv) -> int:
     """Route subcommands, then hand experiment runs to the pipeline."""
+    if argv and argv[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return 0
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main_serve
+
+        return main_serve(argv[1:])
+    if argv and argv[0] == "submit":
+        from repro.serve.cli import main_submit
+
+        return main_submit(argv[1:])
+    if argv and argv[0] == "jobs":
+        from repro.serve.cli import main_jobs
+
+        return main_jobs(argv[1:])
+    if argv and argv[0] == "watch":
+        from repro.serve.cli import main_watch
+
+        return main_watch(argv[1:])
     if argv and argv[0] == "compare":
         return _main_compare(argv[1:])
     if argv and argv[0] == "replay":

@@ -1,0 +1,165 @@
+"""Thin HTTP client for the ``repro serve`` daemon (stdlib urllib).
+
+The programmatic face of the job API — what ``repro submit`` /
+``repro jobs`` / ``repro watch`` build on, and what notebooks or
+external schedulers import::
+
+    from repro.client import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8765")
+    job = client.submit({"experiments": ["table2"], "scale": 0.05})
+    final = client.wait(job["id"])
+    for event in client.events(job["id"]):   # replays a finished job too
+        print(event["kind"], event.get("state"))
+
+Every method raises :class:`~repro.errors.ConfigError` when the daemon
+is unreachable or rejects the request, so CLI callers inherit the
+standard exit-code mapping (2) for free.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigError
+
+
+class ServeClient:
+    """Client for one daemon at ``base_url``.
+
+    Args:
+        base_url: e.g. ``http://127.0.0.1:8765`` (trailing slash ok).
+        timeout: per-request socket timeout in seconds (SSE reads use
+            a longer timeout that spans the daemon's keep-alives).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        """Bind to ``base_url`` (no connection is made yet)."""
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------- plumbing
+
+    def _request(
+        self,
+        path: str,
+        *,
+        method: str = "GET",
+        body: Optional[dict] = None,
+        timeout: Optional[float] = None,
+    ):
+        """One JSON request/response round trip.
+
+        Raises:
+            ConfigError: connection refused / daemon error response
+                (the server's JSON ``error`` message is surfaced).
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=timeout or self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error")
+            except Exception:
+                message = None
+            raise ConfigError(
+                message or f"daemon returned HTTP {exc.code} for {path}",
+                field="serve",
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ConfigError(
+                f"daemon not reachable at {self.base_url}: {exc.reason}",
+                field="serve",
+            ) from exc
+
+    # --------------------------------------------------------------- the API
+
+    def healthz(self) -> dict:
+        """``GET /healthz``: liveness + job tally + cache stats."""
+        return self._request("/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """``POST /jobs``: submit a job spec; returns the created job."""
+        return self._request("/jobs", method="POST", body=spec)
+
+    def jobs(self) -> List[dict]:
+        """``GET /jobs``: every known job, newest first."""
+        return self._request("/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: one job's state."""
+        return self._request(f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        """``DELETE /jobs/<id>``: request cancellation."""
+        return self._request(f"/jobs/{job_id}", method="DELETE")
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: Optional[float] = None,
+        poll_s: float = 0.5,
+    ) -> dict:
+        """Poll until the job is terminal; returns its final dict.
+
+        Raises:
+            ConfigError: ``timeout`` seconds elapsed first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ConfigError(
+                    f"job {job_id} still {job['state']} after {timeout:g}s",
+                    field="serve",
+                )
+            time.sleep(poll_s)
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """``GET /jobs/<id>/events``: yield SSE events as dicts.
+
+        Replays the job's retained history first, then live events;
+        returns when the daemon closes the stream (job terminal) or
+        the connection drops. Keep-alive comments are skipped.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events",
+            headers={"Accept": "text/event-stream"},
+        )
+        try:
+            response = urllib.request.urlopen(request, timeout=max(60.0, self.timeout))
+        except urllib.error.HTTPError as exc:
+            raise ConfigError(
+                f"daemon returned HTTP {exc.code} for /jobs/{job_id}/events",
+                field="serve",
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ConfigError(
+                f"daemon not reachable at {self.base_url}: {exc.reason}",
+                field="serve",
+            ) from exc
+        with response:
+            try:
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\n")
+                    if line.startswith("data:"):
+                        yield json.loads(line[len("data:"):].strip())
+            except (OSError, TimeoutError):
+                return

@@ -13,6 +13,7 @@ exception                   exit code  raised for
 :class:`ConfigError`        2          invalid configuration / usage
 :class:`TraceFormatError`   3          unreadable or malformed trace
 :class:`SimulationFault`    4          simulation failed on both engines
+:class:`Cancelled`          130        run cancelled (signal / job API)
 ==========================  =========  =================================
 
 :class:`ConfigError` and :class:`TraceFormatError` also subclass
@@ -123,3 +124,20 @@ class SimulationFault(ReproError, RuntimeError):
     """
 
     exit_code = 4
+
+
+class Cancelled(ReproError):
+    """A run was cancelled before completing (exit code 130).
+
+    Raised by the parallel harness when a sweep is interrupted — by
+    SIGINT/SIGTERM (see
+    :func:`repro.harness.parallel.cancellation_signals`) or by a
+    :class:`~repro.harness.parallel.CancelToken` set programmatically,
+    e.g. through the serve daemon's ``DELETE /jobs/<id>`` endpoint.
+    Cancellation is a *clean* outcome: the worker pool is torn down,
+    every already-completed (workload, config) record has been merged
+    and journaled, and the exit code follows the 128+SIGINT shell
+    convention instead of a raw ``KeyboardInterrupt`` traceback.
+    """
+
+    exit_code = 130

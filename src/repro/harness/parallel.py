@@ -37,21 +37,127 @@ backoff; the final failure is a typed
 that could not be computed. An optional
 :class:`~repro.resilience.checkpoint.SweepJournal` persists each
 merged record so an interrupted sweep resumes instead of restarting.
+
+Cancellation: every prefetch runs under a :class:`CancelToken`. While
+the pool is live, SIGINT/SIGTERM are routed through
+:func:`cancellation_signals` onto that token (main thread only — the
+serve daemon's job threads set tokens through its API instead), so an
+interrupted sweep tears the pool down cleanly, keeps and journals
+every record already merged, and surfaces as the typed
+:class:`~repro.errors.Cancelled` (exit code 130) rather than a raw
+``KeyboardInterrupt`` traceback mid-merge.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import SimulationFault
+from repro.errors import Cancelled, SimulationFault
 from repro.harness.runner import ConfigSpec, ExperimentContext, RunRecord
 from repro.obs import EVENT_WORKER_RETRY, get_logger
 
 log = get_logger("harness.parallel")
+
+#: Seconds between cancellation checks while awaiting a worker future.
+_POLL_S = 0.1
+
+
+class CancelToken:
+    """Cooperative, thread-safe cancellation flag for a sweep.
+
+    Created per prefetch (or handed in by a caller that wants to
+    cancel from another thread — the serve daemon's ``DELETE
+    /jobs/<id>``). Setting it is idempotent; the first reason wins.
+    """
+
+    def __init__(self):
+        """Create an unset token."""
+        self._event = threading.Event()
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cancellation (first caller's ``reason`` is kept)."""
+        if self.reason is None:
+            self.reason = reason
+        self._event.set()
+
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._event.is_set()
+
+
+@contextmanager
+def cancellation_signals(
+    token: CancelToken, signals=(signal.SIGINT, signal.SIGTERM)
+):
+    """Route SIGINT/SIGTERM onto ``token`` for the guarded block.
+
+    Installed around the worker pool so an interrupt becomes a clean
+    cancellation — pool teardown, journal flush, typed
+    :class:`~repro.errors.Cancelled` — instead of a
+    ``KeyboardInterrupt`` traceback from whatever bytecode the merge
+    loop happened to be on. Previous handlers are restored on exit.
+    No-op outside the main thread (Python only delivers signals
+    there), so daemon job threads can share the same code path.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield token
+        return
+
+    def _handler(signum, frame):
+        """Turn the delivered signal into a token cancellation."""
+        token.cancel(f"received {signal.Signals(signum).name}")
+
+    previous = {}
+    for sig in signals:
+        try:
+            previous[sig] = signal.signal(sig, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            continue
+    try:
+        yield token
+    finally:
+        for sig, prev in previous.items():
+            signal.signal(sig, prev)
+
+
+class _RoundCancelled(Exception):
+    """Internal: the current round observed a set CancelToken."""
+
+
+def _wait_result(future, timeout: Optional[float], cancel: Optional[CancelToken]):
+    """Await one future in short slices so cancellation stays live.
+
+    ``future.result(timeout)`` would block the merge loop for the whole
+    task timeout (possibly forever); polling in :data:`_POLL_S` slices
+    lets a set token abort within ~100 ms while preserving the
+    original semantics: ``timeout`` is still measured from this call.
+
+    Raises:
+        _RoundCancelled: the token was set while waiting.
+        FutureTimeout: ``timeout`` elapsed without a result.
+    """
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        if cancel is not None and cancel.cancelled():
+            raise _RoundCancelled()
+        slice_s = _POLL_S
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FutureTimeout()
+            slice_s = min(slice_s, remaining)
+        try:
+            return future.result(timeout=slice_s)
+        except FutureTimeout:
+            continue
 
 
 def plan_specs(experiment_names: Sequence[str]) -> Tuple[List[ConfigSpec], List[ConfigSpec]]:
@@ -180,13 +286,20 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
             proc.join(timeout=5)
 
 
-def _run_round(tasks: List[dict], workers: int, timeout: Optional[float]):
+def _run_round(
+    tasks: List[dict],
+    workers: int,
+    timeout: Optional[float],
+    cancel: Optional[CancelToken] = None,
+):
     """Run one batch of tasks; returns ``(completed, failed)``.
 
     ``completed`` holds ``(task, worker result)`` pairs; ``failed``
-    holds ``(task, reason)`` pairs. A worker death or timeout aborts
-    the round: results already finished are kept, everything else is
-    reported failed so the caller can retry it in a fresh pool.
+    holds ``(task, reason)`` pairs. A worker death, timeout or set
+    ``cancel`` token aborts the round: results already finished are
+    kept, everything else is reported failed so the caller can retry
+    it in a fresh pool (or, on cancellation, raise
+    :class:`~repro.errors.Cancelled` after merging what completed).
     """
     completed: List[Tuple[dict, tuple]] = []
     failed: List[Tuple[dict, str]] = []
@@ -205,7 +318,10 @@ def _run_round(tasks: List[dict], workers: int, timeout: Optional[float]):
                 failed.append((task, abort))
             continue
         try:
-            completed.append((task, future.result(timeout=timeout)))
+            completed.append((task, _wait_result(future, timeout, cancel)))
+        except _RoundCancelled:
+            failed.append((task, "cancelled"))
+            abort = "pool torn down after cancellation"
         except FutureTimeout:
             failed.append(
                 (task, f"worker exceeded the {timeout:g}s timeout")
@@ -237,6 +353,7 @@ def prefetch_runs(
     journal=None,
     split_fans: bool = True,
     progress=None,
+    cancel: Optional[CancelToken] = None,
 ) -> int:
     """Simulate everything ``experiment_names`` will need, in parallel.
 
@@ -269,10 +386,16 @@ def prefetch_runs(
             then emit heartbeats (unit, accesses/sec, slow-path
             fraction, RSS) over a manager queue that the sink drains
             live, so a stuck worker is visible mid-run.
+        cancel: optional :class:`CancelToken` shared with another
+            thread (the serve daemon's job queue). A fresh token is
+            created when omitted; either way SIGINT/SIGTERM route onto
+            it while the pool is live (main thread only).
 
     Raises:
         SimulationFault: tasks still failing after every retry; the
             message names each failed (workload, configs) pair.
+        Cancelled: the token was set; completed records were merged
+            (and journaled) before raising.
     """
     if run_specs is None or error_specs is None:
         planned_runs, planned_errors = plan_specs(experiment_names)
@@ -344,10 +467,13 @@ def prefetch_runs(
     log.info(
         "prefetching %d workload tasks across %d workers", len(tasks), workers
     )
+    token = cancel if cancel is not None else CancelToken()
     try:
-        fetched = _prefetch_rounds(
-            ctx, tasks, workers, timeout, retries, backoff, journal
-        )
+        with cancellation_signals(token):
+            fetched = _prefetch_rounds(
+                ctx, tasks, workers, timeout, retries, backoff, journal,
+                cancel=token,
+            )
     finally:
         if progress is not None:
             progress.stop()
@@ -366,6 +492,7 @@ def prefetch_pairs(
     retries: int = 0,
     backoff: float = 1.0,
     journal=None,
+    cancel: Optional[CancelToken] = None,
 ) -> int:
     """Fan explicit (workload, spec) pairs across worker processes.
 
@@ -384,6 +511,8 @@ def prefetch_pairs(
 
     Raises:
         SimulationFault: a task still failing after every retry.
+        Cancelled: the ``cancel`` token (or a signal routed onto the
+            per-call token) was set mid-round.
     """
     needs: Dict[str, Tuple[List[ConfigSpec], List[ConfigSpec]]] = {}
 
@@ -420,9 +549,12 @@ def prefetch_pairs(
     log.info(
         "prefetching %d pair tasks across %d workers", len(tasks), workers
     )
-    return _prefetch_rounds(
-        ctx, tasks, workers, timeout, retries, backoff, journal
-    )
+    token = cancel if cancel is not None else CancelToken()
+    with cancellation_signals(token):
+        return _prefetch_rounds(
+            ctx, tasks, workers, timeout, retries, backoff, journal,
+            cancel=token,
+        )
 
 
 def _prefetch_rounds(
@@ -433,15 +565,21 @@ def _prefetch_rounds(
     retries: int,
     backoff: float,
     journal,
+    cancel: Optional[CancelToken] = None,
 ) -> int:
-    """Run the retry loop of :func:`prefetch_runs`; returns runs fetched."""
+    """Run the retry loop of :func:`prefetch_runs`; returns runs fetched.
+
+    Raises :class:`~repro.errors.Cancelled` when ``cancel`` is set —
+    *after* merging and journaling whatever the aborted round had
+    already completed, so a resumed sweep keeps that work.
+    """
     fetched = 0
     with ctx.obs.profiler.phase(f"parallel/jobs{workers}"):
         pending = tasks
         attempt = 0
         while True:
             completed, failed = _run_round(
-                pending, max(1, min(workers, len(pending))), timeout
+                pending, max(1, min(workers, len(pending))), timeout, cancel
             )
             for task, (name, runs, errors) in completed:
                 for spec, record in runs:
@@ -453,6 +591,12 @@ def _prefetch_rounds(
                     ctx._errors[(name, spec)] = err
                     if journal is not None:
                         journal.record_error(name, spec, err)
+            if cancel is not None and cancel.cancelled():
+                raise Cancelled(
+                    f"sweep cancelled ({cancel.reason}); "
+                    f"{fetched} completed simulation"
+                    f"{'' if fetched == 1 else 's'} kept"
+                )
             if not failed:
                 break
             if attempt >= retries:

@@ -70,7 +70,7 @@ from typing import (
     Union,
 )
 
-from repro.errors import ConfigError, UnknownExperimentError
+from repro.errors import Cancelled, ConfigError, UnknownExperimentError
 from repro.harness.reporting import Table
 from repro.harness.runner import ConfigSpec, ExperimentContext
 from repro.obs import Observability
@@ -391,6 +391,9 @@ class StrategyRunResult:
     outcomes: List[StrategyOutcome] = field(default_factory=list)
     #: The shared context (None when no strategy required one).
     ctx: Optional[ExperimentContext] = None
+    #: History-store run id when ``record_history`` landed one (the
+    #: serve daemon links jobs to ``repro history`` rows through this).
+    run_id: Optional[int] = None
 
     @property
     def tables(self) -> Dict[str, Tables]:
@@ -504,6 +507,31 @@ def _record_history_run(
         store.close()
 
 
+def _abort_history_run(store, run_id, ctx, reason: str) -> None:
+    """Mark a cancelled run in the history store, without finishing it.
+
+    Completed (workload, config) results are landed so the partial
+    sweep stays queryable, a ``run_cancelled`` event records why, and
+    the row keeps ``finished = 0`` — ``repro history list`` shows the
+    run as unfinished, which it is. Telemetry failures are swallowed
+    like everywhere else in the recording path.
+    """
+    try:
+        if ctx is not None:
+            records = ctx.run_records()
+            for row in ctx.run_summaries():
+                store.add_result(
+                    run_id,
+                    row,
+                    records.get((row["workload"], row["config"])),
+                )
+        store.add_event(run_id, "run_cancelled", payload={"reason": reason})
+    except Exception:  # pragma: no cover - telemetry must not mask Cancelled
+        pass
+    finally:
+        store.close()
+
+
 def _execute_one(
     strategy: ExperimentStrategy,
     ctx: Optional[ExperimentContext],
@@ -574,6 +602,7 @@ def run_strategies(
     record_history: bool = False,
     argv: Optional[Sequence[str]] = None,
     strategy_options: Optional[dict] = None,
+    cancel=None,
 ) -> StrategyRunResult:
     """Run a batch of strategies through the one generic pipeline.
 
@@ -616,14 +645,24 @@ def run_strategies(
             context as ``ctx.strategy_options`` — how strategy-specific
             CLI knobs (``--error-budget``, ``--voltage-steps``) reach
             the strategies without per-experiment driver branches.
+        cancel: optional
+            :class:`~repro.harness.parallel.CancelToken` another thread
+            may set (the serve daemon's ``DELETE /jobs/<id>``). Checked
+            between strategies and polled continuously during the
+            parallel prefetch; also published as ``ctx.cancel`` so
+            long-running strategies can poll it themselves.
 
     Returns:
-        :class:`StrategyRunResult` with per-strategy tables/wall times
-        and the shared context.
+        :class:`StrategyRunResult` with per-strategy tables/wall times,
+        the shared context, and the history run id (when recorded).
 
     Raises:
         UnknownExperimentError: an experiment name is not registered.
         SimulationFault: the parallel prefetch exhausted its retries.
+        Cancelled: the ``cancel`` token was set (or a signal arrived
+            during the prefetch); a recorded history run keeps its
+            completed results plus a ``run_cancelled`` event, without
+            being marked finished.
     """
     reg = strategy_registry if strategy_registry is not None else registry
     resolved = [reg.resolve(item) for item in experiments]
@@ -679,44 +718,58 @@ def run_strategies(
         ctx.journal = journal
         ctx.checkpoint_dir = checkpoint_dir
         ctx.strategy_options = dict(strategy_options or {})
-    if jobs > 1 and ctx is not None:
-        run_specs, error_specs = _plan_from(resolved)
-        if run_specs or error_specs:
-            from repro.harness.parallel import prefetch_runs
+        ctx.cancel = cancel
+    result = StrategyRunResult(ctx=ctx, run_id=run_id)
+    try:
+        if jobs > 1 and ctx is not None:
+            run_specs, error_specs = _plan_from(resolved)
+            if run_specs or error_specs:
+                from repro.harness.parallel import prefetch_runs
 
-            if obs.enabled and echo:
-                echo(
-                    "[note: --jobs simulates in worker processes; per-access "
-                    "traces/metrics are not captured for prefetched runs]"
+                if obs.enabled and echo:
+                    echo(
+                        "[note: --jobs simulates in worker processes; "
+                        "per-access traces/metrics are not captured for "
+                        "prefetched runs]"
+                    )
+                fetched = prefetch_runs(
+                    ctx,
+                    [],
+                    jobs,
+                    run_specs=run_specs,
+                    error_specs=error_specs,
+                    timeout=timeout,
+                    retries=retries,
+                    journal=journal,
+                    split_fans=split_fans,
+                    progress=progress,
+                    cancel=cancel,
                 )
-            fetched = prefetch_runs(
-                ctx,
-                [],
-                jobs,
-                run_specs=run_specs,
-                error_specs=error_specs,
-                timeout=timeout,
-                retries=retries,
-                journal=journal,
-                split_fans=split_fans,
-                progress=progress,
-            )
-            if progress is not None and echo:
-                beat = progress.summary()
-                echo(
-                    f"[progress: {beat['heartbeats']} heartbeats from "
-                    f"{beat['units']} work units]"
-                )
-            if fetched and echo:
-                echo(f"[prefetched {fetched} runs across {jobs} jobs]")
+                if progress is not None and echo:
+                    beat = progress.summary()
+                    echo(
+                        f"[progress: {beat['heartbeats']} heartbeats from "
+                        f"{beat['units']} work units]"
+                    )
+                if fetched and echo:
+                    echo(f"[prefetched {fetched} runs across {jobs} jobs]")
 
-    result = StrategyRunResult(ctx=ctx)
-    for strategy in resolved:
-        result.outcomes.append(
-            _execute_one(
-                strategy, ctx, obs, out=out, json_dir=json_dir, echo=echo
+        for strategy in resolved:
+            if cancel is not None and cancel.cancelled():
+                raise Cancelled(
+                    f"run cancelled ({cancel.reason}) before experiment "
+                    f"{strategy.label()!r}"
+                )
+            result.outcomes.append(
+                _execute_one(
+                    strategy, ctx, obs, out=out, json_dir=json_dir, echo=echo
+                )
             )
-        )
+    except Cancelled as exc:
+        if store is not None:
+            _abort_history_run(store, run_id, ctx, str(exc))
+        exc.run_id = run_id  # let callers (the serve daemon) link the run
+        raise
 
     if ctx is not None and json_dir:
         from repro.obs.output import update_bench_summary

@@ -24,12 +24,25 @@ table              contents
                    from :mod:`repro.obs.livestream`, engine fallbacks…)
 ``engine_stats``   flattened per-class engine tallies per result
                    (``fast.read_hit`` …; see ``docs/engine.md``)
+``jobs``           serve-daemon job journal: queued/running/terminal job
+                   rows that survive daemon restarts, each linking to
+                   its ``runs`` row once executed (``docs/serving.md``)
 =================  ==========================================================
 
 The schema version lives in sqlite's ``PRAGMA user_version``; opening
 an old store applies every migration in :data:`MIGRATIONS` in order,
 so a fresh database and an upgraded one are structurally identical
 (creation itself is "create v1, then migrate to head").
+
+Concurrency: the store is opened in WAL journal mode with a 5 s
+``busy_timeout``, so the serve daemon's writer threads and concurrent
+``repro history`` reader processes coexist without ``database is
+locked`` errors — WAL readers never block the writer and vice versa.
+The connection is created with ``check_same_thread=False`` and every
+method serializes on an internal :class:`threading.RLock`, making one
+:class:`RunStore` instance safe to share across threads (each
+write method is execute+commit atomic under the lock, so transactions
+from different threads never interleave).
 
 Store *refs* name runs without knowing their ids: ``store:last`` is
 the newest run, ``store:last-1`` the one before it, ``store:<id>`` an
@@ -46,6 +59,7 @@ import json
 import os
 import sqlite3
 import subprocess
+import threading
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -53,7 +67,7 @@ from repro.errors import ConfigError
 from repro.obs.output import BENCH_SCHEMA
 
 #: Current schema version (``PRAGMA user_version``).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Default on-disk location, overridable with ``REPRO_STORE``.
 DEFAULT_STORE_PATH = os.path.join("results", "json", "history.db")
@@ -61,6 +75,10 @@ DEFAULT_STORE_PATH = os.path.join("results", "json", "history.db")
 #: Prefix marking a run reference (``store:last``, ``store:last-1``,
 #: ``store:<id>``) in CLI arguments that otherwise take file paths.
 STORE_REF_PREFIX = "store:"
+
+#: Seconds sqlite retries a locked database before giving up — applied
+#: both as the connect timeout and the connection's ``busy_timeout``.
+BUSY_TIMEOUT_S = 5.0
 
 _SCHEMA_V1 = (
     """
@@ -140,6 +158,27 @@ _MIGRATION_V2 = (
     "ALTER TABLE runs ADD COLUMN cpu_s REAL",
 )
 
+_MIGRATION_V3 = (
+    # Serve-daemon job journal: job rows outlive the daemon process so
+    # a restart re-reports terminal jobs and re-enqueues queued ones;
+    # run_id links an executed job to its history run (SET NULL keeps
+    # the job row meaningful after `repro history gc`).
+    """
+    CREATE TABLE IF NOT EXISTS jobs (
+        id TEXT PRIMARY KEY,
+        submitted_unix REAL NOT NULL,
+        started_unix REAL,
+        finished_unix REAL,
+        state TEXT NOT NULL,
+        spec TEXT NOT NULL,
+        run_id INTEGER REFERENCES runs(id) ON DELETE SET NULL,
+        error TEXT,
+        daemon TEXT
+    )
+    """,
+    "CREATE INDEX IF NOT EXISTS idx_jobs_state ON jobs(state)",
+)
+
 
 def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
     """v1 → v2: add the ``events`` table and the ``runs.cpu_s`` column."""
@@ -147,9 +186,15 @@ def _migrate_1_to_2(conn: sqlite3.Connection) -> None:
         conn.execute(stmt)
 
 
+def _migrate_2_to_3(conn: sqlite3.Connection) -> None:
+    """v2 → v3: add the serve-daemon ``jobs`` journal table."""
+    for stmt in _MIGRATION_V3:
+        conn.execute(stmt)
+
+
 #: version N -> migration applying everything needed to reach N+1.
 #: Opening a store walks from ``user_version`` to :data:`SCHEMA_VERSION`.
-MIGRATIONS = {1: _migrate_1_to_2}
+MIGRATIONS = {1: _migrate_1_to_2, 2: _migrate_2_to_3}
 
 
 def default_store_path(json_dir: Optional[str] = None) -> str:
@@ -208,6 +253,12 @@ class RunStore:
     manager or call :meth:`close`. All writes commit immediately — a
     crashed harness leaves the completed rows behind, which is the
     point of a history store.
+
+    The connection runs in WAL mode with a :data:`BUSY_TIMEOUT_S`
+    busy timeout and is safe to share across threads: every method
+    holds an internal reentrant lock for its whole execute+commit (or
+    execute+fetch) span, so the serve daemon's writer threads and
+    in-process readers never interleave transactions.
     """
 
     def __init__(self, path: str):
@@ -216,9 +267,20 @@ class RunStore:
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            path, timeout=BUSY_TIMEOUT_S, check_same_thread=False
+        )
         self._conn.row_factory = sqlite3.Row
         self._conn.execute("PRAGMA foreign_keys = ON")
+        try:
+            # WAL lets history readers run while the daemon writes.
+            # Silently unavailable on some filesystems (and :memory:);
+            # the busy timeout still prevents hard lock errors there.
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        except sqlite3.DatabaseError:  # pragma: no cover - exotic fs
+            pass
+        self._conn.execute(f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_S * 1000)}")
         self._ensure_schema()
 
     # ------------------------------------------------------------ lifecycle
@@ -230,33 +292,36 @@ class RunStore:
         created today and one upgraded from v1 are structurally
         identical.
         """
-        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-        if version == 0:
-            for stmt in _SCHEMA_V1:
-                self._conn.execute(stmt)
-            version = 1
-        if version > SCHEMA_VERSION:
-            raise ConfigError(
-                f"store {self.path!r} has schema version {version}, newer "
-                f"than this build's {SCHEMA_VERSION}; upgrade repro",
-                field="store",
-            )
-        while version < SCHEMA_VERSION:
-            MIGRATIONS[version](self._conn)
-            version += 1
-        self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
-        self._conn.commit()
+        with self._lock:
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                for stmt in _SCHEMA_V1:
+                    self._conn.execute(stmt)
+                version = 1
+            if version > SCHEMA_VERSION:
+                raise ConfigError(
+                    f"store {self.path!r} has schema version {version}, newer "
+                    f"than this build's {SCHEMA_VERSION}; upgrade repro",
+                    field="store",
+                )
+            while version < SCHEMA_VERSION:
+                MIGRATIONS[version](self._conn)
+                version += 1
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+            self._conn.commit()
 
     @property
     def schema_version(self) -> int:
         """The database's current ``PRAGMA user_version``."""
-        return self._conn.execute("PRAGMA user_version").fetchone()[0]
+        with self._lock:
+            return self._conn.execute("PRAGMA user_version").fetchone()[0]
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
 
     def __enter__(self) -> "RunStore":
         """Context-manager entry; returns self."""
@@ -289,28 +354,31 @@ class RunStore:
         attach to; :meth:`finish_run` stamps the final timings and
         flips ``finished``.
         """
-        cur = self._conn.execute(
-            "INSERT INTO runs (started_unix, git_sha, config_hash, "
-            "experiments, workloads, engine, seed, scale, jobs, argv, "
-            "context) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                time.time() if started_unix is None else started_unix,
-                sha,
-                config_hash,
-                _json_or_none(
-                    {name: {} for name in experiments} if experiments else None
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO runs (started_unix, git_sha, config_hash, "
+                "experiments, workloads, engine, seed, scale, jobs, argv, "
+                "context) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    time.time() if started_unix is None else started_unix,
+                    sha,
+                    config_hash,
+                    _json_or_none(
+                        {name: {} for name in experiments}
+                        if experiments
+                        else None
+                    ),
+                    _json_or_none(list(workloads) if workloads else None),
+                    engine,
+                    seed,
+                    scale,
+                    jobs,
+                    _json_or_none(list(argv) if argv else None),
+                    _json_or_none(context),
                 ),
-                _json_or_none(list(workloads) if workloads else None),
-                engine,
-                seed,
-                scale,
-                jobs,
-                _json_or_none(list(argv) if argv else None),
-                _json_or_none(context),
-            ),
-        )
-        self._conn.commit()
-        return cur.lastrowid
+            )
+            self._conn.commit()
+            return cur.lastrowid
 
     def finish_run(
         self,
@@ -322,19 +390,20 @@ class RunStore:
         context: Optional[dict] = None,
     ) -> None:
         """Stamp final timings / experiment wall times on a run row."""
-        self._conn.execute(
-            "UPDATE runs SET wall_s = ?, cpu_s = ?, finished = 1, "
-            "experiments = COALESCE(?, experiments), "
-            "context = COALESCE(?, context) WHERE id = ?",
-            (
-                wall_s,
-                cpu_s,
-                _json_or_none(experiments),
-                _json_or_none(context),
-                run_id,
-            ),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "UPDATE runs SET wall_s = ?, cpu_s = ?, finished = 1, "
+                "experiments = COALESCE(?, experiments), "
+                "context = COALESCE(?, context) WHERE id = ?",
+                (
+                    wall_s,
+                    cpu_s,
+                    _json_or_none(experiments),
+                    _json_or_none(context),
+                    run_id,
+                ),
+            )
+            self._conn.commit()
 
     def add_result(
         self, run_id: int, summary: dict, record: Optional[dict] = None
@@ -349,63 +418,75 @@ class RunStore:
         engine stats fan out into the ``metrics`` and ``engine_stats``
         tables so error-vs-fault-rate curves are one SQL join away.
         """
-        cur = self._conn.execute(
-            "INSERT INTO results (run_id, workload, config, sim_wall_s, "
-            "accesses, accesses_per_sec, cycles, llc_miss_rate, "
-            "l1_hit_rate, l2_hit_rate, traffic_bytes, error, engine_used, "
-            "slow_path_fraction, summary, record) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                run_id,
-                summary.get("workload"),
-                summary.get("config"),
-                summary.get("sim_wall_s"),
-                summary.get("accesses"),
-                summary.get("accesses_per_sec"),
-                summary.get("cycles"),
-                summary.get("llc_miss_rate"),
-                summary.get("l1_hit_rate"),
-                summary.get("l2_hit_rate"),
-                summary.get("traffic_bytes"),
-                summary.get("error"),
-                summary.get("engine_used"),
-                summary.get("slow_path_fraction"),
-                json.dumps(summary, default=str),
-                _json_or_none(record),
-            ),
-        )
-        result_id = cur.lastrowid
-        faults = summary.get("faults") or {}
-        for site, counters in sorted((faults.get("sites") or {}).items()):
-            for name, value in sorted(counters.items()):
-                self.add_metric(
-                    run_id, f"faults.{site}.{name}", value, result_id=result_id
-                )
-        engine_stats = summary.get("engine_stats")
-        if engine_stats:
-            from repro.hierarchy.system import flatten_engine_stats
-
-            self._conn.executemany(
-                "INSERT INTO engine_stats (result_id, key, value) "
-                "VALUES (?, ?, ?)",
-                [
-                    (result_id, key, float(value))
-                    for key, value in flatten_engine_stats(engine_stats).items()
-                ],
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO results (run_id, workload, config, sim_wall_s, "
+                "accesses, accesses_per_sec, cycles, llc_miss_rate, "
+                "l1_hit_rate, l2_hit_rate, traffic_bytes, error, "
+                "engine_used, slow_path_fraction, summary, record) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    summary.get("workload"),
+                    summary.get("config"),
+                    summary.get("sim_wall_s"),
+                    summary.get("accesses"),
+                    summary.get("accesses_per_sec"),
+                    summary.get("cycles"),
+                    summary.get("llc_miss_rate"),
+                    summary.get("l1_hit_rate"),
+                    summary.get("l2_hit_rate"),
+                    summary.get("traffic_bytes"),
+                    summary.get("error"),
+                    summary.get("engine_used"),
+                    summary.get("slow_path_fraction"),
+                    json.dumps(summary, default=str),
+                    _json_or_none(record),
+                ),
             )
-        self._conn.commit()
-        return result_id
+            result_id = cur.lastrowid
+            faults = summary.get("faults") or {}
+            for site, counters in sorted((faults.get("sites") or {}).items()):
+                for name, value in sorted(counters.items()):
+                    self.add_metric(
+                        run_id,
+                        f"faults.{site}.{name}",
+                        value,
+                        result_id=result_id,
+                    )
+            engine_stats = summary.get("engine_stats")
+            if engine_stats:
+                from repro.hierarchy.system import flatten_engine_stats
+
+                self._conn.executemany(
+                    "INSERT INTO engine_stats (result_id, key, value) "
+                    "VALUES (?, ?, ?)",
+                    [
+                        (result_id, key, float(value))
+                        for key, value in flatten_engine_stats(
+                            engine_stats
+                        ).items()
+                    ],
+                )
+            self._conn.commit()
+            return result_id
 
     def add_metric(
         self, run_id: int, name: str, value, result_id: Optional[int] = None
     ) -> None:
         """Insert one flat (name, value) metric row."""
-        self._conn.execute(
-            "INSERT INTO metrics (run_id, result_id, name, value) "
-            "VALUES (?, ?, ?, ?)",
-            (run_id, result_id, name, None if value is None else float(value)),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO metrics (run_id, result_id, name, value) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    run_id,
+                    result_id,
+                    name,
+                    None if value is None else float(value),
+                ),
+            )
+            self._conn.commit()
 
     def add_event(
         self,
@@ -417,18 +498,19 @@ class RunStore:
         ts_unix: Optional[float] = None,
     ) -> None:
         """Insert one observability event row."""
-        self._conn.execute(
-            "INSERT INTO events (run_id, ts_unix, kind, unit, payload) "
-            "VALUES (?, ?, ?, ?, ?)",
-            (
-                run_id,
-                time.time() if ts_unix is None else ts_unix,
-                kind,
-                unit,
-                _json_or_none(payload),
-            ),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO events (run_id, ts_unix, kind, unit, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    time.time() if ts_unix is None else ts_unix,
+                    kind,
+                    unit,
+                    _json_or_none(payload),
+                ),
+            )
+            self._conn.commit()
 
     def add_events(self, run_id: int, events: Iterable[dict]) -> int:
         """Bulk-insert event dicts (heartbeats); returns the count.
@@ -451,22 +533,90 @@ class RunStore:
                     _json_or_none(ev) if ev else None,
                 )
             )
-        self._conn.executemany(
-            "INSERT INTO events (run_id, ts_unix, kind, unit, payload) "
-            "VALUES (?, ?, ?, ?, ?)",
-            rows,
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.executemany(
+                "INSERT INTO events (run_id, ts_unix, kind, unit, payload) "
+                "VALUES (?, ?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
         return len(rows)
+
+    # ----------------------------------------------------------------- jobs
+
+    def save_job(self, row: dict) -> None:
+        """Upsert one serve-daemon job journal row (keyed by ``id``).
+
+        ``row`` carries the columns of the ``jobs`` table; ``spec`` may
+        be a dict (serialized here) or an already-encoded JSON string.
+        Used by :class:`repro.serve.queue.JobQueue` on every state
+        transition so a restarted daemon recovers the queue.
+        """
+        spec = row["spec"]
+        if not isinstance(spec, str):
+            spec = json.dumps(spec, default=str)
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO jobs (id, submitted_unix, "
+                "started_unix, finished_unix, state, spec, run_id, error, "
+                "daemon) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    row["id"],
+                    row["submitted_unix"],
+                    row.get("started_unix"),
+                    row.get("finished_unix"),
+                    row["state"],
+                    spec,
+                    row.get("run_id"),
+                    row.get("error"),
+                    row.get("daemon"),
+                ),
+            )
+            self._conn.commit()
+
+    def load_jobs(self, states: Optional[Sequence[str]] = None) -> List[dict]:
+        """Job journal rows, oldest submission first, specs decoded.
+
+        ``states`` filters to the given job states (e.g. ``("queued",
+        "running")`` when a restarted daemon recovers its backlog).
+        """
+        sql = "SELECT * FROM jobs"
+        params: List[object] = []
+        if states:
+            marks = ", ".join("?" for _ in states)
+            sql += f" WHERE state IN ({marks})"
+            params = list(states)
+        sql += " ORDER BY submitted_unix, id"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out = []
+        for row in rows:
+            decoded = dict(row)
+            decoded["spec"] = _load_or_none(decoded.get("spec"))
+            out.append(decoded)
+        return out
+
+    def job_row(self, job_id: str) -> Optional[dict]:
+        """One job journal row by id (spec decoded), or None."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        decoded = dict(row)
+        decoded["spec"] = _load_or_none(decoded.get("spec"))
+        return decoded
 
     # ---------------------------------------------------------------- reads
 
     def run_ids(self) -> List[int]:
         """Every run id, oldest first."""
-        return [
-            row[0]
-            for row in self._conn.execute("SELECT id FROM runs ORDER BY id")
-        ]
+        with self._lock:
+            return [
+                row[0]
+                for row in self._conn.execute("SELECT id FROM runs ORDER BY id")
+            ]
 
     def resolve_ref(self, ref: str) -> int:
         """Resolve ``store:last[-N]`` / ``store:<id>`` to a run id.
@@ -515,9 +665,10 @@ class RunStore:
 
     def run_row(self, run_id: int) -> dict:
         """One ``runs`` row as a dict with JSON columns decoded."""
-        row = self._conn.execute(
-            "SELECT * FROM runs WHERE id = ?", (run_id,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM runs WHERE id = ?", (run_id,)
+            ).fetchone()
         if row is None:
             raise ConfigError(
                 f"store {self.path!r} has no run {run_id}", field="store"
@@ -529,18 +680,20 @@ class RunStore:
 
     def results_for(self, run_id: int) -> List[dict]:
         """The verbatim summary rows of a run, (workload, config)-sorted."""
-        rows = self._conn.execute(
-            "SELECT summary FROM results WHERE run_id = ? "
-            "ORDER BY workload, config", (run_id,),
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT summary FROM results WHERE run_id = ? "
+                "ORDER BY workload, config", (run_id,),
+            ).fetchall()
         return [json.loads(row[0]) for row in rows]
 
     def records_for(self, run_id: int) -> Dict[Tuple[str, str], Optional[dict]]:
         """Full nested records keyed by (workload, config)."""
-        rows = self._conn.execute(
-            "SELECT workload, config, record FROM results WHERE run_id = ? "
-            "ORDER BY workload, config", (run_id,),
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT workload, config, record FROM results "
+                "WHERE run_id = ? ORDER BY workload, config", (run_id,),
+            ).fetchall()
         return {
             (row[0], row[1]): _load_or_none(row[2]) for row in rows
         }
@@ -576,8 +729,10 @@ class RunStore:
         )
         if limit is not None:
             sql += f" LIMIT {int(limit)}"
+        with self._lock:
+            rows = self._conn.execute(sql).fetchall()
         out = []
-        for row in self._conn.execute(sql):
+        for row in rows:
             decoded = dict(row)
             for key in ("experiments", "workloads", "argv", "context"):
                 decoded[key] = _load_or_none(decoded.get(key))
@@ -598,10 +753,11 @@ class RunStore:
         ``metric`` must be a ``results`` column (it is validated against
         the table schema, so user input cannot inject SQL).
         """
-        columns = {
-            row[1]
-            for row in self._conn.execute("PRAGMA table_info(results)")
-        }
+        with self._lock:
+            columns = {
+                row[1]
+                for row in self._conn.execute("PRAGMA table_info(results)")
+            }
         if metric not in columns or metric in ("summary", "record"):
             queryable = sorted(columns - {"summary", "record"})
             raise ConfigError(
@@ -625,7 +781,8 @@ class RunStore:
             params.append(config)
         order = "DESC" if best == "max" else "ASC"
         sql += f" ORDER BY value {order}, run_id DESC LIMIT {int(limit)}"
-        return [dict(row) for row in self._conn.execute(sql, params)]
+        with self._lock:
+            return [dict(row) for row in self._conn.execute(sql, params)]
 
     def query(self, sql: str, params: Sequence = ()) -> Tuple[List[str], List[tuple]]:
         """Raw SQL passthrough; returns (column names, rows).
@@ -634,9 +791,10 @@ class RunStore:
         cookbook in ``docs/observability.md`` builds on. The statement
         runs verbatim against the user's own local database.
         """
-        cur = self._conn.execute(sql, params)
-        headers = [d[0] for d in cur.description] if cur.description else []
-        return headers, [tuple(row) for row in cur.fetchall()]
+        with self._lock:
+            cur = self._conn.execute(sql, params)
+            headers = [d[0] for d in cur.description] if cur.description else []
+            return headers, [tuple(row) for row in cur.fetchall()]
 
     def events_for(
         self, run_id: int, kind: Optional[str] = None
@@ -648,8 +806,10 @@ class RunStore:
             sql += " AND kind = ?"
             params.append(kind)
         sql += " ORDER BY id"
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
         out = []
-        for ts, k, unit, payload in self._conn.execute(sql, params):
+        for ts, k, unit, payload in rows:
             ev = {"ts_unix": ts, "kind": k, "unit": unit}
             ev.update(_load_or_none(payload) or {})
             out.append(ev)
@@ -659,7 +819,8 @@ class RunStore:
         """Delete all but the newest ``keep`` runs; returns rows dropped.
 
         Foreign keys cascade, so a run's results, metrics, events and
-        engine stats go with it; the file is vacuumed afterwards.
+        engine stats go with it (job rows keep their ids with ``run_id``
+        nulled); the file is vacuumed afterwards.
         """
         if keep < 0:
             raise ConfigError(f"keep must be >= 0, got {keep}", field="keep")
@@ -667,11 +828,12 @@ class RunStore:
         doomed = ids[: max(0, len(ids) - keep)]
         if not doomed:
             return 0
-        self._conn.executemany(
-            "DELETE FROM runs WHERE id = ?", [(i,) for i in doomed]
-        )
-        self._conn.commit()
-        self._conn.execute("VACUUM")
+        with self._lock:
+            self._conn.executemany(
+                "DELETE FROM runs WHERE id = ?", [(i,) for i in doomed]
+            )
+            self._conn.commit()
+            self._conn.execute("VACUUM")
         return len(doomed)
 
 

@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: the ``repro serve`` daemon (``docs/serving.md``).
+
+A long-lived, stdlib-only HTTP daemon exposing the experiment harness
+as an async job API — submit, status, cancel, and a Server-Sent-Events
+stream per job — with warm cross-job caches sharing parsed traces and
+memoized map-generation stats, a bounded worker pool over the PR 7
+``run_strategies`` driver, and job-state journaling in the sqlite
+history store so a restarted daemon resumes its backlog.
+
+Layout:
+
+==============  ======================================================
+module          contents
+==============  ======================================================
+``jobs``        :class:`JobSpec` / :class:`Job` model + states
+``cache``       :class:`WarmCache` cross-job memo
+``sse``         :class:`EventBroker` + SSE wire format
+``queue``       :class:`JobQueue` worker scheduling and execution
+``server``      HTTP routes + :class:`ServeDaemon`
+``cli``         ``repro serve`` / ``submit`` / ``jobs`` / ``watch``
+==============  ======================================================
+
+The matching client lives in :mod:`repro.client`.
+"""
+
+from repro.serve.cache import WarmCache
+from repro.serve.jobs import Job, JobSpec, JobState
+from repro.serve.queue import JobQueue
+from repro.serve.sse import EventBroker
+
+__all__ = [
+    "EventBroker",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobState",
+    "WarmCache",
+]

@@ -1,0 +1,144 @@
+"""Warm cross-job cache: shared traces and memoized results.
+
+The daemon's whole point — per the ROADMAP's "many concurrent clients
+sharing warm workload traces and memoized map-generation stats" — is
+that the second job over a workload should not regenerate what the
+first already computed. This module keys everything a job's
+:class:`~repro.harness.runner.ExperimentContext` memoizes on the full
+determinism triple:
+
+* **traces** by ``(workload, seed, scale)`` — trace generation is the
+  dominant setup cost, and the map-generation statistics
+  (``approximate_map`` seed pairs, per-region value stats) are
+  memoized *on the trace object* by :mod:`repro.engine.precompute`, so
+  sharing the trace shares those for free;
+* **run records / error values** by ``(workload, spec, seed, scale,
+  engine)`` — a :class:`~repro.harness.runner.RunRecord` is immutable
+  once computed and bit-identical across processes by the harness's
+  determinism contract, so replaying it from cache equals recomputing.
+
+What is deliberately **not** shared: workload instances (mutable
+buffers the error pipeline rewrites) and precise outputs (the error
+path refreshes workload state before the precise evaluation; caching
+across jobs would change evaluation order and risk the bit-identity
+invariant the equivalence suite enforces).
+
+:meth:`WarmCache.build_context` seeds a fresh context with only the
+entries the job's experiments *plan* to use, so the history rows a job
+records never include another job's results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.harness.runner import ExperimentContext
+
+
+class WarmCache:
+    """Thread-safe cross-job memo for traces, run records and errors."""
+
+    def __init__(self):
+        """Create an empty cache."""
+        self._lock = threading.Lock()
+        self._traces: Dict[Tuple, object] = {}
+        self._runs: Dict[Tuple, object] = {}
+        self._errors: Dict[Tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _engine_key(engine: Optional[str]) -> str:
+        """Normalize the engine name (None means batched)."""
+        return engine or "batched"
+
+    def build_context(self, spec, obs=None) -> Tuple[ExperimentContext, dict]:
+        """A fresh context for ``spec``, pre-seeded from the cache.
+
+        Only entries the spec's experiments *declare* (their
+        ``Requirements`` run/error specs, fault-resolved) are seeded —
+        a job's recorded history rows therefore cover exactly its own
+        plan, warm or cold. Returns ``(ctx, seeded)`` where ``seeded``
+        counts what was warm: ``{"traces": n, "runs": n, "errors": n}``.
+
+        Args:
+            spec: a :class:`~repro.serve.jobs.JobSpec`.
+            obs: optional :class:`~repro.obs.Observability` for the
+                context (default disabled — the daemon's contexts are
+                headless).
+
+        Raises:
+            UnknownExperimentError: a spec experiment is unregistered.
+            ConfigError: the spec's fault mapping is malformed.
+        """
+        from repro.harness.parallel import plan_specs
+        from repro.obs import Observability
+
+        ctx = ExperimentContext(
+            seed=spec.seed,
+            scale=spec.scale,
+            workloads=spec.workloads,
+            obs=obs or Observability.disabled(),
+            engine=spec.engine,
+            faults=spec.fault_config(),
+        )
+        run_specs, error_specs = plan_specs(spec.experiments)
+        run_specs = [ctx.apply_faults(s) for s in run_specs]
+        error_specs = [ctx.apply_faults(s) for s in error_specs]
+        engine = self._engine_key(spec.engine)
+        seeded = {"traces": 0, "runs": 0, "errors": 0}
+        with self._lock:
+            for name in ctx.names:
+                trace_key = (name, ctx.seed, ctx.scale)
+                if trace_key in self._traces:
+                    ctx._traces[name] = self._traces[trace_key]
+                    seeded["traces"] += 1
+                    self.hits += 1
+                else:
+                    self.misses += 1
+                for cfg in run_specs:
+                    key = (name, cfg, ctx.seed, ctx.scale, engine)
+                    if key in self._runs:
+                        ctx._runs[(name, cfg)] = self._runs[key]
+                        seeded["runs"] += 1
+                for cfg in error_specs:
+                    if cfg.kind == "baseline":
+                        continue
+                    key = (name, cfg, ctx.seed, ctx.scale, engine)
+                    if key in self._errors:
+                        ctx._errors[(name, cfg)] = self._errors[key]
+                        seeded["errors"] += 1
+        return ctx, seeded
+
+    def absorb(self, ctx: ExperimentContext, engine: Optional[str] = None) -> None:
+        """Adopt everything a finished job's context memoized.
+
+        Traces, run records and error values land under their full
+        determinism keys; later jobs with the same knobs start warm.
+        Existing entries are kept (first computation wins — they are
+        bit-identical by contract anyway).
+        """
+        engine = self._engine_key(engine if engine is not None else ctx.engine)
+        with self._lock:
+            for name, trace in ctx._traces.items():
+                self._traces.setdefault((name, ctx.seed, ctx.scale), trace)
+            for (name, cfg), record in ctx._runs.items():
+                self._runs.setdefault(
+                    (name, cfg, ctx.seed, ctx.scale, engine), record
+                )
+            for (name, cfg), err in ctx._errors.items():
+                self._errors.setdefault(
+                    (name, cfg, ctx.seed, ctx.scale, engine), err
+                )
+
+    def stats(self) -> dict:
+        """Cache occupancy and hit counters (``GET /healthz``)."""
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "runs": len(self._runs),
+                "errors": len(self._errors),
+                "trace_hits": self.hits,
+                "trace_misses": self.misses,
+            }

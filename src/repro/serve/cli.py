@@ -1,0 +1,305 @@
+"""CLI faces of the serve subsystem: ``serve``, ``submit``, ``jobs``, ``watch``.
+
+Dispatched from :mod:`repro.cli`; each ``main_*`` takes the argv tail
+after its subcommand name and returns a process exit code. Typed
+errors propagate to the top-level handler for the standard exit-code
+mapping. See ``docs/serving.md`` for worked examples.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.client import ServeClient
+from repro.obs import configure_logging
+from repro.serve.jobs import TERMINAL
+
+#: Default daemon address for every client-side subcommand.
+DEFAULT_URL = "http://127.0.0.1:8765"
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--url`` flag."""
+    parser.add_argument(
+        "--url",
+        default=DEFAULT_URL,
+        help=f"daemon base URL (default {DEFAULT_URL})",
+    )
+
+
+def main_serve(argv) -> int:
+    """``repro serve``: run the job daemon in the foreground."""
+    from repro.serve.server import ServeDaemon
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the long-lived simulation daemon: an HTTP job "
+        "API over the experiment harness with warm cross-job caches.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port; 0 picks a free one (default 8765)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="concurrent jobs (each may itself use spec.jobs simulation "
+        "processes; default 1)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="history database for the job journal and recorded runs "
+        "(default: REPRO_STORE or <--json-out>/history.db)",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="base directory for per-job JSON artifacts, written under "
+        "<dir>/jobs/<id> (default: none)",
+    )
+    parser.add_argument(
+        "--log-level", default="INFO", type=str.upper,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="logging level (default INFO)",
+    )
+    args = parser.parse_args(argv)
+    configure_logging(args.log_level)
+    daemon = ServeDaemon(
+        args.host,
+        args.port,
+        store_path=args.store,
+        workers=args.workers,
+        json_dir=args.json_out,
+    )
+    return daemon.run()
+
+
+def _spec_from_args(args) -> dict:
+    """Build the ``POST /jobs`` spec body from parsed submit flags."""
+    spec = {"experiments": list(dict.fromkeys(args.experiments))}
+    if args.workloads:
+        spec["workloads"] = args.workloads
+    for knob in ("seed", "scale", "engine", "timeout"):
+        value = getattr(args, knob)
+        if value is not None:
+            spec[knob] = value
+    if args.jobs != 1:
+        spec["jobs"] = args.jobs
+    if args.retries:
+        spec["retries"] = args.retries
+    options = {
+        key: value
+        for key, value in (
+            ("error_budget", args.error_budget),
+            ("voltage_steps", args.voltage_steps),
+        )
+        if value is not None
+    }
+    if options:
+        spec["strategy_options"] = options
+    if args.fault_rate or args.fault_stuck_bits:
+        spec["faults"] = {
+            "seed": args.fault_seed,
+            "read_rate": args.fault_rate,
+            "stuck_bits": args.fault_stuck_bits,
+        }
+    return spec
+
+
+def main_submit(argv) -> int:
+    """``repro submit``: queue a job on the daemon.
+
+    Prints the created job as JSON (or just its id with ``--quiet``);
+    with ``--wait`` polls to completion and exits non-zero unless the
+    job ends ``done``.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro submit",
+        description="Submit an experiment job to a running repro serve "
+        "daemon.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+", metavar="experiment",
+        help="registered experiment name(s)",
+    )
+    _add_url(parser)
+    parser.add_argument("--seed", type=int, default=None, help="data seed")
+    parser.add_argument("--scale", type=float, default=None, help="dataset scale")
+    parser.add_argument(
+        "--workloads", nargs="*", default=None, help="benchmark subset"
+    )
+    parser.add_argument(
+        "--engine", default=None, choices=("batched", "reference"),
+        help="simulation engine (default batched)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="simulation worker processes inside the job (default 1)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="seconds allowed per parallel workload task",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry rounds for failed parallel tasks (default 0)",
+    )
+    parser.add_argument(
+        "--error-budget", type=float, default=None,
+        help="frontier experiment: max acceptable output error",
+    )
+    parser.add_argument(
+        "--voltage-steps", type=int, default=None,
+        help="frontier experiment: voltage-ladder length",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-read transient fault probability (default 0 = off)",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0, help="fault-stream seed"
+    )
+    parser.add_argument(
+        "--fault-stuck-bits", type=int, default=0,
+        help="stuck bit positions in the approximate data array",
+    )
+    parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes; exit 0 only on state=done",
+    )
+    parser.add_argument(
+        "--wait-timeout", type=float, default=None,
+        help="give up --wait after this many seconds",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only the job id (script-friendly)",
+    )
+    args = parser.parse_args(argv)
+    client = ServeClient(args.url)
+    job = client.submit(_spec_from_args(args))
+    if args.quiet:
+        print(job["id"])
+    else:
+        print(json.dumps(job, indent=2, default=str))
+    if not args.wait:
+        return 0
+    final = client.wait(job["id"], timeout=args.wait_timeout)
+    if not args.quiet:
+        print(json.dumps(final, indent=2, default=str))
+    if final["state"] != "done":
+        print(
+            f"job {job['id']} ended {final['state']}"
+            + (f": {final['error']}" if final.get("error") else ""),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main_jobs(argv) -> int:
+    """``repro jobs``: list the daemon's jobs (optionally one state)."""
+    parser = argparse.ArgumentParser(
+        prog="repro jobs",
+        description="List jobs known to a running repro serve daemon.",
+    )
+    _add_url(parser)
+    parser.add_argument(
+        "--state", default=None,
+        choices=("queued", "running", "done", "failed", "cancelled"),
+        help="only jobs in this state",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="raw JSON instead of a table"
+    )
+    args = parser.parse_args(argv)
+    jobs = ServeClient(args.url).jobs()
+    if args.state:
+        jobs = [job for job in jobs if job["state"] == args.state]
+    if args.json:
+        print(json.dumps(jobs, indent=2, default=str))
+        return 0
+    if not jobs:
+        print("no jobs")
+        return 0
+    header = f"{'id':<14} {'state':<10} {'pos':<4} {'run':<5} experiments"
+    print(header)
+    print("-" * len(header))
+    for job in jobs:
+        position = job.get("position")
+        run_id = job.get("run_id")
+        print(
+            f"{job['id']:<14} {job['state']:<10} "
+            f"{'' if position is None else position:<4} "
+            f"{'' if run_id is None else run_id:<5} "
+            + ",".join(job["spec"]["experiments"])
+        )
+    return 0
+
+
+def main_watch(argv) -> int:
+    """``repro watch <id>``: tail a job's SSE stream to the terminal.
+
+    Prints one line per event (state transitions, the warm-cache
+    report, worker heartbeats) until the job reaches a terminal state;
+    exits 0 for ``done``, 1 otherwise. Watching an already-finished
+    job replays its retained history and returns.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro watch",
+        description="Stream a job's live events from a repro serve daemon.",
+    )
+    parser.add_argument("job", help="job id (from repro submit / repro jobs)")
+    _add_url(parser)
+    parser.add_argument(
+        "--json", action="store_true", help="raw event JSON, one per line"
+    )
+    args = parser.parse_args(argv)
+    client = ServeClient(args.url)
+    final_state = None
+    for event in client.events(args.job):
+        if args.json:
+            print(json.dumps(event, default=str))
+        else:
+            print(_render_event(event))
+        sys.stdout.flush()
+        if event.get("kind") in TERMINAL:
+            final_state = event["kind"]
+    if final_state is None:
+        final_state = client.job(args.job)["state"]
+    return 0 if final_state == "done" else 1
+
+
+def _render_event(event: dict) -> str:
+    """One human line per SSE event."""
+    kind = event.get("kind", "?")
+    ts = event.get("ts_unix")
+    stamp = time.strftime("%H:%M:%S", time.localtime(ts)) if ts else "--:--:--"
+    if kind == "state":
+        line = f"state -> {event.get('state')}"
+        if event.get("requeued"):
+            line += " (requeued)"
+    elif kind == "warm_cache":
+        line = (
+            f"warm cache: {event.get('traces', 0)} trace(s), "
+            f"{event.get('runs', 0)} run(s), {event.get('errors', 0)} "
+            "error value(s) reused"
+        )
+    elif kind == "worker_heartbeat":
+        line = (
+            f"worker {event.get('unit')}: {event.get('phase')} "
+            f"{event.get('done', 0)}/{event.get('total', 0)}"
+        )
+    elif kind in TERMINAL:
+        line = f"job {kind}"
+        if event.get("run_id") is not None:
+            line += f" (history run {event['run_id']})"
+        if event.get("error"):
+            line += f": {event['error']}"
+    else:
+        line = json.dumps(event, default=str)
+    return f"[{stamp}] {line}"

@@ -1,0 +1,278 @@
+"""Job model for the serve daemon: specs, states and journal rows.
+
+A *job* is one queued invocation of the generic strategy driver
+(:func:`repro.harness.strategy.run_strategies`): a :class:`JobSpec`
+carries the same knobs ``repro run`` takes (experiments, workloads,
+seed/scale, engine, jobs, timeout/retries, fault and strategy
+options), and a :class:`Job` wraps the spec with its lifecycle state,
+timestamps and — once executed — the history-store run id its results
+landed under.
+
+Job rows persist in the history store's ``jobs`` table
+(:meth:`repro.obs.store.RunStore.save_job`) on every state
+transition, so a restarted daemon re-reports terminal jobs and
+re-enqueues interrupted ones (see :meth:`repro.serve.queue.JobQueue.recover`).
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigError
+
+
+class JobState:
+    """The job lifecycle states (plain strings, stored verbatim).
+
+    ``QUEUED → RUNNING → DONE | FAILED | CANCELLED``; a queued job may
+    also jump straight to ``CANCELLED``. :data:`TERMINAL` is the set a
+    job never leaves.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job never transitions out of.
+TERMINAL = frozenset({JobState.DONE, JobState.FAILED, JobState.CANCELLED})
+
+#: The JSON fields a submitted spec may carry (everything optional but
+#: ``experiments``); unknown fields are rejected with their names.
+_SPEC_FIELDS = (
+    "experiments",
+    "workloads",
+    "seed",
+    "scale",
+    "engine",
+    "jobs",
+    "timeout",
+    "retries",
+    "faults",
+    "strategy_options",
+)
+
+
+@dataclass
+class JobSpec:
+    """What to run: the ``repro run`` knob set as inert, JSON-safe data.
+
+    Attributes:
+        experiments: registered strategy names, in execution order.
+        workloads: benchmark subset (None = every workload).
+        seed: data seed (None = the harness default).
+        scale: dataset scale (None = the harness default).
+        engine: simulation engine name (None = batched).
+        jobs: worker processes for the in-job parallel prefetch.
+        timeout: seconds allowed per parallel workload task.
+        retries: retry rounds for failed/timed-out parallel tasks.
+        faults: a :meth:`~repro.resilience.faults.FaultConfig.to_dict`
+            mapping (None = no fault injection).
+        strategy_options: free-form options published to strategies as
+            ``ctx.strategy_options`` (``error_budget`` …).
+    """
+
+    experiments: List[str]
+    workloads: Optional[List[str]] = None
+    seed: Optional[int] = None
+    scale: Optional[float] = None
+    engine: Optional[str] = None
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 0
+    faults: Optional[dict] = None
+    strategy_options: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobSpec":
+        """Validate and build a spec from a submitted JSON object.
+
+        Raises:
+            ConfigError: not a JSON object, unknown fields, a missing /
+                empty / non-string-list ``experiments``, or malformed
+                scalar knobs (the HTTP layer maps this to a 400).
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(
+                f"job spec must be a JSON object, got {type(data).__name__}",
+                field="spec",
+            )
+        unknown = sorted(set(data) - set(_SPEC_FIELDS))
+        if unknown:
+            raise ConfigError(
+                f"unknown job spec field(s) {unknown}; known fields are "
+                f"{list(_SPEC_FIELDS)}",
+                field="spec",
+            )
+        experiments = data.get("experiments")
+        if (
+            not isinstance(experiments, list)
+            or not experiments
+            or not all(isinstance(name, str) for name in experiments)
+        ):
+            raise ConfigError(
+                "spec.experiments must be a non-empty list of experiment "
+                "names",
+                field="experiments",
+            )
+        workloads = data.get("workloads")
+        if workloads is not None and (
+            not isinstance(workloads, list)
+            or not all(isinstance(name, str) for name in workloads)
+        ):
+            raise ConfigError(
+                "spec.workloads must be a list of workload names",
+                field="workloads",
+            )
+        jobs = data.get("jobs", 1)
+        if not isinstance(jobs, int) or jobs < 1:
+            raise ConfigError(
+                f"spec.jobs must be an integer >= 1, got {jobs!r}",
+                field="jobs",
+            )
+        retries = data.get("retries", 0)
+        if not isinstance(retries, int) or retries < 0:
+            raise ConfigError(
+                f"spec.retries must be an integer >= 0, got {retries!r}",
+                field="retries",
+            )
+        timeout = data.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or timeout <= 0
+        ):
+            raise ConfigError(
+                f"spec.timeout must be a positive number, got {timeout!r}",
+                field="timeout",
+            )
+        options = data.get("strategy_options") or {}
+        if not isinstance(options, dict):
+            raise ConfigError(
+                "spec.strategy_options must be a JSON object",
+                field="strategy_options",
+            )
+        faults = data.get("faults")
+        if faults is not None and not isinstance(faults, dict):
+            raise ConfigError(
+                "spec.faults must be a FaultConfig.to_dict() object",
+                field="faults",
+            )
+        return cls(
+            experiments=list(experiments),
+            workloads=list(workloads) if workloads is not None else None,
+            seed=data.get("seed"),
+            scale=data.get("scale"),
+            engine=data.get("engine"),
+            jobs=jobs,
+            timeout=timeout,
+            retries=retries,
+            faults=dict(faults) if faults is not None else None,
+            strategy_options=dict(options),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON form; the exact inverse of :meth:`from_dict`."""
+        return {
+            "experiments": list(self.experiments),
+            "workloads": list(self.workloads) if self.workloads else None,
+            "seed": self.seed,
+            "scale": self.scale,
+            "engine": self.engine,
+            "jobs": self.jobs,
+            "timeout": self.timeout,
+            "retries": self.retries,
+            "faults": dict(self.faults) if self.faults else None,
+            "strategy_options": dict(self.strategy_options),
+        }
+
+    def fault_config(self):
+        """The spec's :class:`~repro.resilience.faults.FaultConfig` (or None).
+
+        Raises:
+            ConfigError: the ``faults`` mapping is malformed (validated
+                by ``FaultConfig.from_dict``).
+        """
+        if not self.faults:
+            return None
+        from repro.resilience.faults import FaultConfig
+
+        return FaultConfig.from_dict(self.faults)
+
+
+def new_job_id() -> str:
+    """A short, URL-safe, collision-unlikely job id."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Job:
+    """One submitted job: spec + lifecycle state + provenance.
+
+    ``recovered`` marks a job re-enqueued by a daemon restart (it was
+    queued or running when the previous daemon died); the API surfaces
+    it so clients can tell a resumed job from a fresh one.
+    """
+
+    spec: JobSpec
+    id: str = field(default_factory=new_job_id)
+    state: str = JobState.QUEUED
+    submitted_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    error: Optional[str] = None
+    run_id: Optional[int] = None
+    recovered: bool = False
+
+    def to_dict(self, position: Optional[int] = None) -> dict:
+        """API form (``GET /jobs/<id>``); ``position`` is 0-based in queue."""
+        out = {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+            "run_id": self.run_id,
+            "recovered": self.recovered,
+        }
+        if position is not None:
+            out["position"] = position
+        return out
+
+    def row(self, daemon: Optional[str] = None) -> dict:
+        """The ``jobs``-table row for :meth:`~repro.obs.store.RunStore.save_job`."""
+        return {
+            "id": self.id,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "state": self.state,
+            "spec": self.spec.to_dict(),
+            "run_id": self.run_id,
+            "error": self.error,
+            "daemon": daemon,
+        }
+
+    @classmethod
+    def from_row(cls, row: dict) -> "Job":
+        """Rebuild a job from its journal row (inverse of :meth:`row`)."""
+        return cls(
+            spec=JobSpec.from_dict(row["spec"]),
+            id=row["id"],
+            state=row["state"],
+            submitted_unix=row["submitted_unix"],
+            started_unix=row.get("started_unix"),
+            finished_unix=row.get("finished_unix"),
+            error=row.get("error"),
+            run_id=row.get("run_id"),
+        )
+
+    @property
+    def terminal(self) -> bool:
+        """True once the job reached done/failed/cancelled."""
+        return self.state in TERMINAL

@@ -1,0 +1,446 @@
+"""The daemon's job queue: bounded workers over ``run_strategies``.
+
+A :class:`JobQueue` owns everything between the HTTP layer and the
+PR 7 strategy driver:
+
+* **scheduling** — submitted jobs enter a FIFO; ``workers`` daemon
+  threads drain it, each executing one job at a time through
+  :func:`repro.harness.strategy.run_strategies` (which itself fans a
+  job's ``spec.jobs`` simulation processes);
+* **warm caching** — each job's context is pre-seeded from the shared
+  :class:`~repro.serve.cache.WarmCache` and absorbed back on success,
+  so concurrent clients share parsed traces and memoized map stats;
+* **cancellation** — ``cancel()`` flips the job's
+  :class:`~repro.harness.parallel.CancelToken`; the in-flight pool is
+  torn down by the harness and the typed
+  :class:`~repro.errors.Cancelled` lands the job in ``cancelled``;
+* **persistence** — every state transition is journaled into the
+  history store's ``jobs`` table, so :meth:`recover` re-enqueues the
+  queued/running backlog after a daemon restart (re-enqueued jobs are
+  marked ``recovered``), and completed jobs link to their
+  ``repro history`` run via ``run_id``;
+* **streaming** — lifecycle transitions, the warm-cache report and
+  worker heartbeats are published to the
+  :class:`~repro.serve.sse.EventBroker` feeding ``GET
+  /jobs/<id>/events``.
+
+The queue never imports HTTP machinery; tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import Cancelled, ConfigError
+from repro.harness.parallel import CancelToken
+from repro.obs import get_logger
+from repro.obs.livestream import LiveProgressSink
+from repro.obs.store import RunStore
+from repro.serve.cache import WarmCache
+from repro.serve.jobs import Job, JobSpec, JobState
+from repro.serve.sse import EventBroker
+
+log = get_logger("serve.queue")
+
+#: Cancel reason distinguishing a daemon shutdown (job is re-queued for
+#: the next daemon) from a client cancel (job ends ``cancelled``).
+SHUTDOWN_REASON = "daemon shutdown"
+
+
+class _JobProgressSink(LiveProgressSink):
+    """A livestream sink that republishes worker heartbeats to the SSE broker.
+
+    Inherits the drain thread and store-shaped retention from
+    :class:`~repro.obs.livestream.LiveProgressSink` (so heartbeats
+    still land in the history store's events table), and additionally
+    forwards each beat to the job's event stream.
+    """
+
+    def __init__(self, broker: EventBroker, job_id: str):
+        """Bind to ``broker`` for job ``job_id`` (no terminal rendering)."""
+        super().__init__(stream=None, render=False)
+        self._broker = broker
+        self._job_id = job_id
+
+    def handle(self, beat: dict) -> None:
+        """Retain the beat, then publish it on the job's SSE stream."""
+        super().handle(beat)
+        event = dict(beat)
+        event["job"] = self._job_id
+        self._broker.publish(self._job_id, event)
+
+
+class JobQueue:
+    """FIFO job scheduler with bounded worker threads (see module docs).
+
+    Args:
+        store_path: history database path — both the job journal and
+            where executed jobs record their runs.
+        workers: concurrent jobs (each may itself fan ``spec.jobs``
+            simulation processes).
+        broker: the SSE event broker (a fresh one by default).
+        json_dir: base directory for per-job JSON artifacts; each job
+            writes under ``<json_dir>/jobs/<id>`` so concurrent jobs
+            never race on one ``BENCH_obs.json``.
+        daemon_id: identifier journaled with each job row (defaults to
+            ``pid<pid>``).
+    """
+
+    def __init__(
+        self,
+        store_path: str,
+        *,
+        workers: int = 1,
+        broker: Optional[EventBroker] = None,
+        json_dir: Optional[str] = None,
+        daemon_id: Optional[str] = None,
+    ):
+        """Open the journal store; workers start on :meth:`start`."""
+        if workers < 1:
+            raise ConfigError(
+                f"workers must be >= 1, got {workers}", field="workers"
+            )
+        self.store_path = store_path
+        self.store = RunStore(store_path)
+        self.broker = broker if broker is not None else EventBroker()
+        self.json_dir = json_dir
+        self.daemon_id = daemon_id or f"pid{os.getpid()}"
+        self.workers = workers
+        self.cache = WarmCache()
+        self._jobs: Dict[str, Job] = {}
+        self._pending: deque = deque()
+        self._tokens: Dict[str, CancelToken] = {}
+        self._cond = threading.Condition()
+        self._threads: List[threading.Thread] = []
+        self._stopping = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for k in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{k}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def recover(self) -> int:
+        """Re-enqueue the journal's queued/running backlog; returns count.
+
+        Jobs a previous daemon left ``queued`` or ``running`` restart
+        from the top (simulations are deterministic and memoized, so a
+        re-run is byte-identical); they are flagged ``recovered`` in
+        the API. Call before :meth:`start` accepts new submissions to
+        keep FIFO order: the backlog runs first.
+        """
+        rows = self.store.load_jobs(states=(JobState.QUEUED, JobState.RUNNING))
+        count = 0
+        for row in rows:
+            try:
+                job = Job.from_row(row)
+            except ConfigError as exc:  # journal row from a newer build
+                log.warning("skipping unreadable job row %s: %s", row.get("id"), exc)
+                continue
+            job.state = JobState.QUEUED
+            job.started_unix = None
+            job.recovered = True
+            with self._cond:
+                self._jobs[job.id] = job
+                self._pending.append(job.id)
+                self._cond.notify()
+            self._save(job)
+            self._publish_state(job, requeued=True)
+            count += 1
+        if count:
+            log.info("recovered %d job(s) from %s", count, self.store_path)
+        return count
+
+    def shutdown(self, requeue_running: bool = True) -> None:
+        """Stop workers; in-flight jobs are cancelled and (by default) re-queued.
+
+        With ``requeue_running`` a running job's journal row returns to
+        ``queued`` so the next daemon resumes it; with it False the job
+        ends ``cancelled``. Queued jobs stay ``queued`` in the journal
+        either way. Blocks until the workers exit (bounded by the
+        harness's pool-teardown timeout), then closes the journal.
+        """
+        with self._cond:
+            self._stopping = True
+            reason = SHUTDOWN_REASON if requeue_running else "cancelled at shutdown"
+            for token in self._tokens.values():
+                token.cancel(reason)
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=30)
+        self._threads = []
+        self.store.close()
+
+    # -------------------------------------------------------------- the API
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Queue one job; returns it (state ``queued``).
+
+        Validates the experiment names against the strategy registry
+        and the workloads against the workload registry up front, so a
+        bad spec is a 400 at submission, not a failed job later.
+
+        Raises:
+            ConfigError: unknown experiment/workload, or the queue is
+                shutting down.
+        """
+        from repro.harness.strategy import registry
+
+        for name in spec.experiments:
+            registry.get(name)
+        if spec.workloads:
+            from repro.workloads.registry import workload_names
+
+            known = workload_names()
+            unknown = [w for w in spec.workloads if w not in known]
+            if unknown:
+                raise ConfigError(
+                    f"unknown workload(s) {unknown}; choose from {known}",
+                    field="workloads",
+                )
+        job = Job(spec=spec)
+        with self._cond:
+            if self._stopping:
+                raise ConfigError(
+                    "daemon is shutting down; job not accepted", field="serve"
+                )
+            self._jobs[job.id] = job
+        # Journal + stream the queued state BEFORE a worker can claim the
+        # job, so subscribers always see queued -> running in order.
+        self._save(job)
+        self._publish_state(job)
+        with self._cond:
+            self._pending.append(job.id)
+            self._cond.notify()
+        return job
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job: queued jobs immediately, running via their token.
+
+        Returns the job (terminal jobs are returned unchanged) or None
+        for an unknown id. A running job transitions once the harness
+        tears its pool down and raises
+        :class:`~repro.errors.Cancelled` — within the poll interval
+        plus pool teardown, not at the next task boundary.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.terminal:
+                return job
+            if job.state == JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                job.finished_unix = time.time()
+                job.error = "cancelled before start"
+            else:
+                token = self._tokens.get(job_id)
+                if token is not None:
+                    token.cancel("cancelled by client")
+                return job
+        # Queued -> cancelled: journal + stream outside the lock.
+        self._save(job)
+        self._publish_terminal(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[dict]:
+        """One job's API dict (with queue position), or None.
+
+        Falls back to the journal for jobs of earlier daemon
+        incarnations that never entered this process's memory.
+        """
+        with self._cond:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.to_dict(self._position(job_id))
+        row = self.store.job_row(job_id)
+        if row is None:
+            return None
+        return Job.from_row(row).to_dict()
+
+    def list(self) -> List[dict]:
+        """Every known job's API dict, newest submission first.
+
+        Journal rows from earlier daemons are merged in (memory wins),
+        so ``GET /jobs`` after a restart still shows finished history.
+        """
+        with self._cond:
+            out = {
+                job.id: job.to_dict(self._position(job.id))
+                for job in self._jobs.values()
+            }
+        for row in self.store.load_jobs():
+            if row["id"] not in out:
+                try:
+                    out[row["id"]] = Job.from_row(row).to_dict()
+                except ConfigError:
+                    continue
+        return sorted(
+            out.values(), key=lambda j: j["submitted_unix"], reverse=True
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Job tally by state (``GET /healthz``)."""
+        with self._cond:
+            tally: Dict[str, int] = {}
+            for job in self._jobs.values():
+                tally[job.state] = tally.get(job.state, 0) + 1
+            return tally
+
+    def _position(self, job_id: str) -> Optional[int]:
+        """0-based queue position of a queued job (callers hold the lock)."""
+        queued = [
+            jid
+            for jid in self._pending
+            if self._jobs[jid].state == JobState.QUEUED
+        ]
+        return queued.index(job_id) if job_id in queued else None
+
+    # ------------------------------------------------------------ execution
+
+    def _worker_loop(self) -> None:
+        """One worker thread: claim the next queued job, execute it."""
+        while True:
+            with self._cond:
+                job = None
+                while job is None:
+                    if self._stopping:
+                        return
+                    while self._pending:
+                        candidate = self._jobs[self._pending.popleft()]
+                        if candidate.state == JobState.QUEUED:
+                            job = candidate
+                            break
+                    if job is None:
+                        self._cond.wait(timeout=0.5)
+                job.state = JobState.RUNNING
+                job.started_unix = time.time()
+                token = CancelToken()
+                self._tokens[job.id] = token
+            self._save(job)
+            self._publish_state(job)
+            self._execute(job, token)
+
+    def _execute(self, job: Job, token: CancelToken) -> None:
+        """Run one job through the strategy driver; settle its state."""
+        from repro.harness.strategy import run_strategies
+
+        spec = job.spec
+        requeue = False
+        progress = None
+        try:
+            ctx, seeded = self.cache.build_context(spec)
+            self.broker.publish(
+                job.id,
+                {
+                    "kind": "warm_cache",
+                    "job": job.id,
+                    "ts_unix": time.time(),
+                    **seeded,
+                },
+            )
+            if spec.jobs > 1:
+                progress = _JobProgressSink(self.broker, job.id)
+            json_dir = (
+                os.path.join(self.json_dir, "jobs", job.id)
+                if self.json_dir
+                else None
+            )
+            result = run_strategies(
+                spec.experiments,
+                ctx=ctx,
+                seed=spec.seed,
+                scale=spec.scale,
+                workloads=spec.workloads,
+                engine=spec.engine,
+                faults=spec.fault_config(),
+                jobs=spec.jobs,
+                timeout=spec.timeout,
+                retries=spec.retries,
+                progress=progress,
+                json_dir=json_dir,
+                store_path=self.store_path,
+                record_history=True,
+                argv=["serve", f"job:{job.id}"],
+                strategy_options=spec.strategy_options,
+                cancel=token,
+            )
+            self.cache.absorb(ctx, spec.engine)
+            job.run_id = result.run_id
+            job.state = JobState.DONE
+            job.error = None
+        except Cancelled as exc:
+            job.run_id = getattr(exc, "run_id", job.run_id)
+            if self._stopping and token.reason == SHUTDOWN_REASON:
+                requeue = True
+                job.state = JobState.QUEUED
+                job.started_unix = None
+                job.error = None
+            else:
+                job.state = JobState.CANCELLED
+                job.error = str(exc)
+        except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+            log.warning("job %s failed: %r", job.id, exc)
+            job.state = JobState.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._cond:
+                self._tokens.pop(job.id, None)
+                if requeue:
+                    self._pending.appendleft(job.id)
+            if not requeue:
+                job.finished_unix = time.time()
+            self._save(job)
+            if requeue:
+                self._publish_state(job, requeued=True)
+            else:
+                self._publish_terminal(job)
+
+    # ----------------------------------------------------------- journaling
+
+    def _save(self, job: Job) -> None:
+        """Persist the job's current state to the journal (best-effort)."""
+        try:
+            self.store.save_job(job.row(daemon=self.daemon_id))
+        except Exception as exc:  # pragma: no cover - telemetry never fatal
+            log.warning("could not journal job %s: %s", job.id, exc)
+
+    def _publish_state(self, job: Job, requeued: bool = False) -> None:
+        """Stream a lifecycle transition on the job's SSE channel."""
+        event = {
+            "kind": "state",
+            "job": job.id,
+            "state": job.state,
+            "ts_unix": time.time(),
+        }
+        if requeued:
+            event["requeued"] = True
+        self.broker.publish(job.id, event)
+
+    def _publish_terminal(self, job: Job) -> None:
+        """Stream the terminal event and close the job's SSE channel."""
+        self.broker.publish(
+            job.id,
+            {
+                "kind": job.state,
+                "job": job.id,
+                "state": job.state,
+                "run_id": job.run_id,
+                "error": job.error,
+                "ts_unix": time.time(),
+            },
+        )
+        self.broker.close(job.id)

@@ -1,0 +1,302 @@
+"""The ``repro serve`` HTTP daemon (stdlib only, no new dependencies).
+
+A :class:`ServeDaemon` wraps a threading ``http.server`` — one handler
+thread per connection, which SSE requires anyway — around the
+:class:`~repro.serve.queue.JobQueue`:
+
+==========================  =================================================
+endpoint                    behaviour
+==========================  =================================================
+``GET /healthz``            daemon liveness: uptime, job tally, cache stats
+``POST /jobs``              submit a :class:`~repro.serve.jobs.JobSpec`
+                            (JSON body) → 201 + the job (400 on a bad spec)
+``GET /jobs``               every known job, newest first (incl. journal
+                            rows from earlier daemon incarnations)
+``GET /jobs/<id>``          one job: state, queue position, run id
+``DELETE /jobs/<id>``       cancel (queued → immediately; running → the
+                            harness tears its worker pool down)
+``GET /jobs/<id>/events``   Server-Sent-Events: replayed history, then live
+                            lifecycle/warm-cache/heartbeat events, closing
+                            once the job is terminal
+==========================  =================================================
+
+Shutdown: SIGINT/SIGTERM stop accepting connections, cancel in-flight
+jobs and re-queue them in the journal (the next daemon resumes them) —
+``httpd.shutdown()`` must be called from a different thread than
+``serve_forever()``, so the signal handler hands it to a one-shot
+thread. See ``docs/serving.md`` for the full API reference.
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_mod
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro import __version__
+from repro.errors import ConfigError
+from repro.obs import get_logger
+from repro.obs.store import default_store_path
+from repro.serve.jobs import JobSpec
+from repro.serve.queue import JobQueue
+from repro.serve.sse import CLOSE, format_sse, keep_alive
+
+log = get_logger("serve.server")
+
+#: Seconds between SSE keep-alive comments on an idle stream.
+KEEP_ALIVE_S = 15.0
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Threading HTTP server carrying the queue for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], queue: JobQueue):
+        """Bind to ``address`` and attach the job ``queue``."""
+        self.queue = queue
+        self.started_unix = time.time()
+        super().__init__(address, ServeHandler)
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP connection (see module docstring for the API)."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-serve/{__version__}"
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def queue(self) -> JobQueue:
+        """The daemon's job queue."""
+        return self.server.queue
+
+    def log_message(self, fmt, *args):  # noqa: A002 - stdlib signature
+        """Route access logs through the repro logger, not stderr."""
+        log.info("%s %s", self.address_string(), fmt % args)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        """Write one JSON response with explicit length (keep-alive safe)."""
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        """JSON error body with the status code."""
+        self._send_json({"error": message}, status=status)
+
+    def _job_path(self) -> Optional[str]:
+        """The ``<id>`` of a ``/jobs/<id>[/events]`` path, else None."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) >= 2 and parts[0] == "jobs":
+            return parts[1]
+        return None
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        """``/healthz``, ``/jobs``, ``/jobs/<id>``, ``/jobs/<id>/events``."""
+        path = self.path.split("?")[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(
+                {
+                    "status": "ok",
+                    "version": __version__,
+                    "uptime_s": time.time() - self.server.started_unix,
+                    "jobs": self.queue.counts(),
+                    "cache": self.queue.cache.stats(),
+                }
+            )
+            return
+        if path == "/jobs":
+            self._send_json({"jobs": self.queue.list()})
+            return
+        job_id = self._job_path()
+        if job_id is not None and path.endswith("/events"):
+            self._stream_events(job_id)
+            return
+        if job_id is not None:
+            job = self.queue.get(job_id)
+            if job is None:
+                self._error(404, f"no such job {job_id!r}")
+            else:
+                self._send_json(job)
+            return
+        self._error(404, f"unknown path {path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        """``POST /jobs``: submit a job spec."""
+        path = self.path.split("?")[0].rstrip("/")
+        if path != "/jobs":
+            self._error(404, f"unknown path {path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            data = json.loads(raw.decode("utf-8")) if raw else {}
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._error(400, f"request body is not valid JSON: {exc}")
+            return
+        try:
+            job = self.queue.submit(JobSpec.from_dict(data))
+        except ConfigError as exc:
+            self._error(400, str(exc))
+            return
+        self._send_json(job.to_dict(position=None), status=201)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib naming
+        """``DELETE /jobs/<id>``: cancel."""
+        job_id = self._job_path()
+        if job_id is None:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        job = self.queue.cancel(job_id)
+        if job is None:
+            self._error(404, f"no such job {job_id!r}")
+            return
+        self._send_json(job.to_dict())
+
+    # ------------------------------------------------------------------ SSE
+
+    def _stream_events(self, job_id: str) -> None:
+        """Tail a job's event stream as Server-Sent Events.
+
+        Replays retained history first, then live events; a keep-alive
+        comment goes out every :data:`KEEP_ALIVE_S` idle seconds and
+        the response ends when the job's stream closes (terminal
+        state) or the client disconnects. ``Connection: close`` keeps
+        HTTP/1.1 keep-alive from waiting on an unbounded body.
+        """
+        if self.queue.get(job_id) is None:
+            self._error(404, f"no such job {job_id!r}")
+            return
+        subscription = self.queue.broker.subscribe(job_id, replay=True)
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            while True:
+                try:
+                    event = subscription.get(timeout=KEEP_ALIVE_S)
+                except queue_mod.Empty:
+                    self.wfile.write(keep_alive())
+                    self.wfile.flush()
+                    continue
+                if event is CLOSE:
+                    return
+                self.wfile.write(format_sse(event))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return  # client went away; nothing to clean up but the sub
+        finally:
+            self.queue.broker.unsubscribe(job_id, subscription)
+
+
+class ServeDaemon:
+    """The assembled daemon: queue + HTTP server + signal handling.
+
+    Args:
+        host: bind address (default localhost only).
+        port: TCP port; 0 picks a free one (tests) — read the bound
+            port back from :attr:`port` after construction.
+        store_path: history database (default: the standard store
+            resolution, honouring ``REPRO_STORE``).
+        workers: concurrent jobs.
+        json_dir: base directory for per-job JSON artifacts (None
+            disables JSON output).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        store_path: Optional[str] = None,
+        workers: int = 1,
+        json_dir: Optional[str] = None,
+    ):
+        """Bind the server and build the queue (workers not yet started)."""
+        self.store_path = store_path or default_store_path(json_dir)
+        self.queue = JobQueue(
+            self.store_path, workers=workers, json_dir=json_dir
+        )
+        self.httpd = ReproServer((host, port), self.queue)
+        self.host, self.port = self.httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        """The daemon's base URL."""
+        return f"http://{self.host}:{self.port}"
+
+    def run(self) -> int:
+        """Serve until SIGINT/SIGTERM (the ``repro serve`` foreground loop).
+
+        Recovery runs first so a restarted daemon's backlog is queued
+        ahead of new submissions. ``httpd.shutdown()`` deadlocks when
+        called from the ``serve_forever`` thread, so the signal handler
+        hands it to a one-shot thread.
+        """
+        recovered = self.queue.recover()
+        self.queue.start()
+
+        def _handler(signum, frame):
+            """Stop the server loop from a helper thread."""
+            log.info("received %s; shutting down", signal.Signals(signum).name)
+            threading.Thread(
+                target=self.httpd.shutdown, name="serve-shutdown", daemon=True
+            ).start()
+
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _handler)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                continue
+        print(
+            f"repro serve listening on {self.url} "
+            f"(store {self.store_path}, {self.queue.workers} worker(s)"
+            + (f", {recovered} job(s) recovered)" if recovered else ")")
+        )
+        try:
+            self.httpd.serve_forever(poll_interval=0.2)
+        finally:
+            for sig, prev in previous.items():
+                signal.signal(sig, prev)
+            self.httpd.server_close()
+            self.queue.shutdown(requeue_running=True)
+        return 0
+
+    # ----------------------------------------------------- test entry points
+
+    def start_background(self) -> None:
+        """Start serving on a daemon thread (tests / embedding)."""
+        self.queue.recover()
+        self.queue.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self, requeue_running: bool = True) -> None:
+        """Stop a background daemon: HTTP first, then the queue."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.queue.shutdown(requeue_running=requeue_running)

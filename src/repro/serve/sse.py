@@ -1,0 +1,124 @@
+"""Server-Sent-Events plumbing: per-job event broker + wire format.
+
+The daemon publishes every job's lifecycle transitions, warm-cache
+report and worker heartbeats (the PR 6 livestream beats) into an
+:class:`EventBroker`. Each job keeps a bounded replay history, so a
+late ``GET /jobs/<id>/events`` subscriber first receives everything
+already emitted, then live events, then a close sentinel once the job
+is terminal — which is exactly the contract ``repro watch`` tails.
+
+Events are plain dicts; the broker stamps a monotonically increasing
+``seq`` per job (the SSE ``id:`` field) and :func:`format_sse` renders
+one event as an SSE frame (``event:`` carries the event kind so
+browser ``EventSource`` listeners can filter).
+"""
+
+from __future__ import annotations
+
+import json
+import queue as queue_mod
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+#: Replay history kept per job (oldest beats drop first).
+HISTORY_LIMIT = 2048
+
+#: Sentinel a subscriber queue receives when its job's stream closes.
+CLOSE = None
+
+
+class EventBroker:
+    """Fan-out hub: publishers push job events, SSE handlers subscribe.
+
+    Thread-safe; publishers are the queue's worker threads, subscribers
+    the HTTP handler threads. Subscriber queues are unbounded but
+    short-lived (one per open SSE connection).
+    """
+
+    def __init__(self, history_limit: int = HISTORY_LIMIT):
+        """Create an empty broker keeping ``history_limit`` events per job."""
+        self._lock = threading.Lock()
+        self._history: Dict[str, deque] = {}
+        self._subscribers: Dict[str, List[queue_mod.Queue]] = {}
+        self._seq: Dict[str, int] = {}
+        self._closed: set = set()
+        self._history_limit = history_limit
+
+    def publish(self, job_id: str, event: dict) -> dict:
+        """Stamp ``seq``, append to history, wake every subscriber."""
+        with self._lock:
+            seq = self._seq.get(job_id, 0) + 1
+            self._seq[job_id] = seq
+            event = dict(event)
+            event["seq"] = seq
+            self._history.setdefault(
+                job_id, deque(maxlen=self._history_limit)
+            ).append(event)
+            targets = list(self._subscribers.get(job_id, ()))
+        for q in targets:
+            q.put(event)
+        return event
+
+    def close(self, job_id: str) -> None:
+        """Mark the job's stream finished; subscribers get the sentinel."""
+        with self._lock:
+            if job_id in self._closed:
+                return
+            self._closed.add(job_id)
+            targets = self._subscribers.pop(job_id, [])
+        for q in targets:
+            q.put(CLOSE)
+
+    def subscribe(
+        self, job_id: str, replay: bool = True
+    ) -> "queue_mod.Queue":
+        """A queue receiving the job's events (history first, then live).
+
+        When the job's stream is already closed the queue holds the
+        replayed history followed immediately by the close sentinel, so
+        a watcher of a finished job sees the full story and returns.
+        """
+        q: queue_mod.Queue = queue_mod.Queue()
+        with self._lock:
+            if replay:
+                for event in self._history.get(job_id, ()):
+                    q.put(event)
+            if job_id in self._closed:
+                q.put(CLOSE)
+            else:
+                self._subscribers.setdefault(job_id, []).append(q)
+        return q
+
+    def unsubscribe(self, job_id: str, q: "queue_mod.Queue") -> None:
+        """Detach a subscriber queue (idempotent)."""
+        with self._lock:
+            subs = self._subscribers.get(job_id)
+            if subs and q in subs:
+                subs.remove(q)
+
+    def history(self, job_id: str) -> List[dict]:
+        """The retained events of a job, oldest first."""
+        with self._lock:
+            return list(self._history.get(job_id, ()))
+
+
+def format_sse(event: dict) -> bytes:
+    """Render one event dict as an SSE frame.
+
+    ``event:`` carries the event's ``kind``, ``id:`` its broker
+    ``seq``, and ``data:`` the full JSON payload on one line (JSON
+    never embeds raw newlines, so one ``data:`` line suffices).
+    """
+    kind = event.get("kind", "message")
+    seq = event.get("seq")
+    lines = [f"event: {kind}"]
+    if seq is not None:
+        lines.append(f"id: {seq}")
+    lines.append(f"data: {json.dumps(event, default=str)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def keep_alive() -> bytes:
+    """An SSE comment frame — keeps idle connections from timing out."""
+    return b": keep-alive\n\n"

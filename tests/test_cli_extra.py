@@ -71,3 +71,34 @@ class TestSizeScaling:
         llc = dopp_spec(14, 0.25).build_llc(None, size_factor=1 / 64)
         assert llc.dopp.tags.num_entries >= 1024
         assert llc.precise.size_bytes >= 64 * 1024
+
+
+class TestVersionFlag:
+    def test_top_level_version(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_short_form(self, capsys):
+        from repro import __version__
+        from repro.cli import main
+
+        assert main(["-V"]) == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_version_matches_pyproject(self):
+        import pathlib
+        import re
+
+        import repro
+
+        pyproject = (
+            pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        )
+        match = re.search(
+            r'^version = "([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match is not None
+        assert match.group(1) == repro.__version__

@@ -1,0 +1,349 @@
+"""Tests for the simulation-as-a-service subsystem (``repro serve``).
+
+Covers the job model, the SSE broker, the queue's full job lifecycle
+(submit → running → done / cancelled / failed), restart-resume from
+the journal, warm-cache reuse across jobs, and an HTTP end-to-end
+round trip through :class:`~repro.client.ServeClient`.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.cache import WarmCache
+from repro.serve.jobs import TERMINAL, Job, JobSpec, JobState
+from repro.serve.queue import JobQueue
+from repro.serve.sse import CLOSE, EventBroker, format_sse, keep_alive
+
+SMALL = {"experiments": ["table2"], "workloads": ["swaptions"], "scale": 0.05, "seed": 3}
+
+
+def wait_for(predicate, timeout=120.0, interval=0.05):
+    """Poll ``predicate`` until truthy; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval)
+    pytest.fail("condition not reached within timeout")
+
+
+# ----------------------------------------------------------------- job model
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec.from_dict(
+            {
+                "experiments": ["table2", "figure7"],
+                "workloads": ["swaptions"],
+                "seed": 11,
+                "scale": 0.25,
+                "jobs": 2,
+                "retries": 1,
+                "timeout": 30.0,
+                "strategy_options": {"error_budget": 0.05},
+                "faults": {"seed": 1, "read_rate": 1e-4, "stuck_bits": 0},
+            }
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+        assert spec.fault_config() is not None
+
+    def test_defaults(self):
+        spec = JobSpec.from_dict({"experiments": ["table2"]})
+        assert spec.jobs == 1
+        assert spec.retries == 0
+        assert spec.fault_config() is None
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},
+            {"experiments": []},
+            {"experiments": "table2"},
+            {"experiments": ["table2"], "bogus_field": 1},
+            {"experiments": ["table2"], "jobs": 0},
+            {"experiments": ["table2"], "retries": -1},
+            {"experiments": ["table2"], "timeout": 0},
+            {"experiments": ["table2"], "strategy_options": "nope"},
+            {"experiments": ["table2"], "faults": [1]},
+        ],
+    )
+    def test_invalid_specs_rejected(self, body):
+        with pytest.raises(ConfigError):
+            JobSpec.from_dict(body)
+
+    def test_job_row_round_trip(self):
+        job = Job(spec=JobSpec(experiments=["table2"]))
+        job.state = JobState.DONE
+        job.run_id = 7
+        back = Job.from_row(job.row(daemon="test"))
+        assert back.id == job.id
+        assert back.state == JobState.DONE
+        assert back.run_id == 7
+        assert back.spec == job.spec
+
+    def test_terminal_states(self):
+        assert TERMINAL == {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+        job = Job(spec=JobSpec(experiments=["table2"]))
+        assert not job.terminal
+        job.state = JobState.FAILED
+        assert job.terminal
+
+
+# ---------------------------------------------------------------- SSE broker
+
+
+class TestEventBroker:
+    def test_publish_replay_close(self):
+        broker = EventBroker()
+        broker.publish("j1", {"kind": "state", "state": "queued"})
+        broker.publish("j1", {"kind": "state", "state": "running"})
+        sub = broker.subscribe("j1", replay=True)
+        first = sub.get_nowait()
+        assert first["state"] == "queued"
+        assert first["seq"] == 1
+        assert sub.get_nowait()["state"] == "running"
+        broker.publish("j1", {"kind": "done"})
+        broker.close("j1")
+        assert sub.get(timeout=1)["kind"] == "done"
+        assert sub.get(timeout=1) is CLOSE
+        broker.unsubscribe("j1", sub)
+
+    def test_subscribe_after_close_replays_then_closes(self):
+        broker = EventBroker()
+        broker.publish("j1", {"kind": "done"})
+        broker.close("j1")
+        sub = broker.subscribe("j1", replay=True)
+        assert sub.get_nowait()["kind"] == "done"
+        assert sub.get_nowait() is CLOSE
+
+    def test_format_sse_wire_shape(self):
+        chunk = format_sse({"kind": "state", "seq": 4, "state": "running"})
+        text = chunk.decode("utf-8")
+        assert text.startswith("event: state\nid: 4\ndata: ")
+        assert text.endswith("\n\n")
+        assert keep_alive().startswith(b":")
+
+
+# -------------------------------------------------------------- job lifecycle
+
+
+@pytest.fixture
+def queue(tmp_path):
+    """A started single-worker queue on a per-test store."""
+    q = JobQueue(str(tmp_path / "serve.db"), workers=1)
+    q.start()
+    yield q
+    q.shutdown(requeue_running=False)
+
+
+class TestJobLifecycle:
+    def test_submit_to_done_records_history(self, queue):
+        job = queue.submit(JobSpec.from_dict(SMALL))
+        assert job.state == JobState.QUEUED
+        final = wait_for(lambda: queue.get(job.id)["state"] in TERMINAL and queue.get(job.id))
+        assert final["state"] == JobState.DONE
+        assert final["run_id"] is not None
+        runs = queue.store.list_runs()
+        assert any(r["id"] == final["run_id"] and r["finished"] for r in runs)
+        kinds = [e.get("kind") for e in queue.broker.history(job.id)]
+        assert kinds[0] == "state"
+        assert "warm_cache" in kinds
+        assert kinds[-1] == "done"
+
+    def test_submit_validates_names(self, queue):
+        with pytest.raises(ConfigError):
+            queue.submit(JobSpec(experiments=["no-such-experiment"]))
+        with pytest.raises(ConfigError):
+            queue.submit(JobSpec(experiments=["table2"], workloads=["no-such-wl"]))
+
+    def test_cancel_queued_job(self, tmp_path):
+        q = JobQueue(str(tmp_path / "serve.db"), workers=1)  # workers not started
+        try:
+            job = q.submit(JobSpec.from_dict(SMALL))
+            out = q.cancel(job.id)
+            assert out.state == JobState.CANCELLED
+            assert out.error == "cancelled before start"
+            assert q.store.job_row(job.id)["state"] == JobState.CANCELLED
+            assert q.cancel(job.id).state == JobState.CANCELLED  # idempotent
+            assert q.cancel("missing") is None
+        finally:
+            q.shutdown()
+
+    def test_cancel_running_job(self, queue):
+        slow = {"experiments": ["table2"], "seed": 3, "jobs": 2}
+        job = queue.submit(JobSpec.from_dict(slow))
+        wait_for(lambda: queue.get(job.id)["state"] == JobState.RUNNING)
+        time.sleep(0.5)
+        queue.cancel(job.id)
+        final = wait_for(lambda: queue.get(job.id)["state"] in TERMINAL and queue.get(job.id))
+        assert final["state"] == JobState.CANCELLED
+        assert "cancelled" in final["error"]
+
+    def test_failed_job(self, queue, monkeypatch):
+        import repro.harness.strategy as strategy_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("driver exploded")
+
+        monkeypatch.setattr(strategy_mod, "run_strategies", boom)
+        job = queue.submit(JobSpec.from_dict(SMALL))
+        final = wait_for(lambda: queue.get(job.id)["state"] in TERMINAL and queue.get(job.id))
+        assert final["state"] == JobState.FAILED
+        assert "driver exploded" in final["error"]
+
+    def test_queue_positions_and_counts(self, tmp_path):
+        q = JobQueue(str(tmp_path / "serve.db"), workers=1)  # not started
+        try:
+            first = q.submit(JobSpec.from_dict(SMALL))
+            second = q.submit(JobSpec.from_dict(SMALL))
+            assert q.get(first.id)["position"] == 0
+            assert q.get(second.id)["position"] == 1
+            assert q.counts() == {JobState.QUEUED: 2}
+            listed = q.list()
+            assert [j["id"] for j in listed] == [second.id, first.id]
+        finally:
+            q.shutdown()
+
+    def test_restart_resume(self, tmp_path):
+        store = str(tmp_path / "serve.db")
+        q1 = JobQueue(store, workers=1)  # never started: job stays queued
+        job = q1.submit(JobSpec.from_dict(SMALL))
+        q1.shutdown()
+
+        q2 = JobQueue(store, workers=1)
+        try:
+            assert q2.recover() == 1
+            recovered = q2.get(job.id)
+            assert recovered["state"] == JobState.QUEUED
+            assert recovered["recovered"] is True
+            q2.start()
+            final = wait_for(lambda: q2.get(job.id)["state"] in TERMINAL and q2.get(job.id))
+            assert final["state"] == JobState.DONE
+        finally:
+            q2.shutdown(requeue_running=False)
+
+    def test_journal_visible_across_instances(self, tmp_path):
+        store = str(tmp_path / "serve.db")
+        q1 = JobQueue(store, workers=1)
+        q1.start()
+        job = q1.submit(JobSpec.from_dict(SMALL))
+        wait_for(lambda: q1.get(job.id)["state"] in TERMINAL)
+        q1.shutdown()
+
+        q2 = JobQueue(store, workers=1)
+        try:
+            assert q2.get(job.id)["state"] == JobState.DONE
+            assert job.id in [j["id"] for j in q2.list()]
+        finally:
+            q2.shutdown()
+
+
+# ----------------------------------------------------------------- warm cache
+
+
+class TestWarmCache:
+    def test_second_identical_job_hits(self, queue):
+        first = queue.submit(JobSpec.from_dict(SMALL))
+        wait_for(lambda: queue.get(first.id)["state"] in TERMINAL)
+        assert queue.cache.stats()["traces"] == 1
+
+        second = queue.submit(JobSpec.from_dict(SMALL))
+        wait_for(lambda: queue.get(second.id)["state"] in TERMINAL)
+        stats = queue.cache.stats()
+        assert stats["trace_hits"] >= 1
+        events = queue.broker.history(second.id)
+        warm = next(e for e in events if e.get("kind") == "warm_cache")
+        assert warm["traces"] == 1
+        assert warm["runs"] >= 1
+
+    def test_seeding_scoped_to_planned_specs(self):
+        cache = WarmCache()
+        spec = JobSpec.from_dict(SMALL)
+        ctx, seeded = cache.build_context(spec)
+        assert seeded == {"traces": 0, "runs": 0, "errors": 0}
+        # A context absorbed for one engine must not leak to another.
+        trace = ctx.trace("swaptions")
+        assert trace is not None
+        cache.absorb(ctx)
+        ctx2, seeded2 = cache.build_context(spec)
+        assert seeded2["traces"] == 1
+        assert ctx2.trace("swaptions") is trace
+
+    def test_different_seed_misses(self):
+        cache = WarmCache()
+        spec = JobSpec.from_dict(SMALL)
+        ctx, _ = cache.build_context(spec)
+        ctx.trace("swaptions")
+        cache.absorb(ctx)
+        other = JobSpec.from_dict({**SMALL, "seed": 4})
+        _, seeded = cache.build_context(other)
+        assert seeded["traces"] == 0
+        assert cache.stats()["trace_misses"] >= 1
+
+
+# ------------------------------------------------------------ HTTP end-to-end
+
+
+class TestHttpEndToEnd:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        """A background daemon on an ephemeral port."""
+        from repro.serve.server import ServeDaemon
+
+        d = ServeDaemon(
+            "127.0.0.1", 0, store_path=str(tmp_path / "serve.db"), workers=1
+        )
+        d.start_background()
+        yield d
+        d.stop(requeue_running=False)
+
+    def test_full_round_trip(self, daemon):
+        from repro.client import ServeClient
+
+        client = ServeClient(daemon.url)
+        health = client.healthz()
+        assert health["status"] == "ok"
+
+        job = client.submit(SMALL)
+        final = client.wait(job["id"], timeout=180)
+        assert final["state"] == "done"
+        assert final["run_id"] is not None
+
+        kinds = [e.get("kind") for e in client.events(job["id"])]
+        assert "warm_cache" in kinds
+        assert kinds[-1] == "done"
+
+        assert any(j["id"] == job["id"] for j in client.jobs())
+        assert client.job(job["id"])["state"] == "done"
+
+    def test_error_responses(self, daemon):
+        from repro.client import ServeClient
+
+        client = ServeClient(daemon.url)
+        with pytest.raises(ConfigError, match="no such job"):
+            client.job("missing")
+        with pytest.raises(ConfigError, match="no such job"):
+            client.cancel("missing")
+        with pytest.raises(ConfigError):
+            client.submit({"experiments": ["no-such-experiment"]})
+        with pytest.raises(ConfigError):
+            client.submit({"experiments": ["table2"], "bogus": 1})
+
+    def test_sse_stream_live(self, daemon):
+        from repro.client import ServeClient
+
+        client = ServeClient(daemon.url)
+        job = client.submit(SMALL)
+        seen = []
+        reader = threading.Thread(
+            target=lambda: seen.extend(client.events(job["id"])), daemon=True
+        )
+        reader.start()
+        reader.join(timeout=180)
+        assert not reader.is_alive()
+        assert [e["kind"] for e in seen if e["kind"] in TERMINAL] == ["done"]
